@@ -1,0 +1,20 @@
+"""Figure 10: latency to the centralized US East S3-IA cold tier."""
+
+from repro.bench.experiments import run_fig10
+from repro.bench.reporting import register_report
+from repro.net.topology import ASIA_EAST, EU_WEST, US_EAST, US_WEST
+
+
+def test_fig10_centralized_cold(benchmark):
+    result, report = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    register_report(report)
+
+    # Local access is cheapest; every remote region pays its WAN RTT.
+    assert result.get_ms[US_EAST] < result.get_ms[US_WEST]
+    assert result.get_ms[US_WEST] < result.get_ms[ASIA_EAST]
+    assert result.get_ms[EU_WEST] < result.get_ms[ASIA_EAST]
+
+    # The paper's headline: ~200 ms worst-case get from Asia East.
+    assert 150.0 <= result.get_ms[ASIA_EAST] <= 260.0
+    # US East baseline is plain S3-IA service time (tens of ms).
+    assert result.get_ms[US_EAST] < 60.0

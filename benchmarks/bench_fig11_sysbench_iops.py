@@ -1,0 +1,29 @@
+"""Figure 11: SysBench IOPS, Azure local disk vs AWS remote memory."""
+
+from repro.bench.experiments import run_fig11
+from repro.bench.reporting import register_report
+
+
+def test_fig11_sysbench_iops(benchmark):
+    result, report = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    register_report(report)
+
+    # Local disk: flat at the Azure 500-IOPS throttle on every VM size.
+    for vm, iops in result.local_iops.items():
+        assert 450.0 <= iops <= 510.0, (vm, iops)
+
+    # Remote memory through Wiera scales with VM size; Basic A2 is worse
+    # than Standard D1 despite having more CPUs (network throttling).
+    a2 = result.wiera_iops["azure.basic_a2"]
+    d1 = result.wiera_iops["azure.standard_d1"]
+    d2 = result.wiera_iops["azure.standard_d2"]
+    d3 = result.wiera_iops["azure.standard_d3"]
+    assert a2 < d1 < d2
+    assert abs(d3 - d2) / d2 < 0.15  # D2 ~= D3
+
+    # Paper: ~44% improvement over the disk on D2/D3.
+    disk = result.local_iops["azure.standard_d2"]
+    assert 1.30 <= d2 / disk <= 1.60, d2 / disk
+    assert 1.30 <= d3 / disk <= 1.65
+    # Small VMs do not beat the local disk.
+    assert a2 < 500.0 and d1 < 500.0

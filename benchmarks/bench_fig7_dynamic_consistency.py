@@ -1,0 +1,32 @@
+"""Figure 7: Wiera changes the consistency model at run time."""
+
+from repro.bench.experiments import run_fig7
+from repro.bench.reporting import register_report
+
+
+def test_fig7_dynamic_consistency(benchmark):
+    result, report = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    register_report(report)
+
+    # Exactly the two long delays trip the threshold: two switches to
+    # eventual, and two back once the delays clear (the transient delay
+    # (c) must not cause a fifth switch).
+    to_weak = [s for s in result.switch_log if s[2] == "eventual"]
+    to_strong = [s for s in result.switch_log if s[2] == "multi_primaries"]
+    assert len(to_weak) == 2, result.switch_log
+    assert len(to_strong) == 2, result.switch_log
+
+    # Switches happen after the 30 s sustained violation, not instantly:
+    # first delay starts at t=60, so the switch lands in [90, 120].
+    assert 90.0 <= to_weak[0][0] <= 120.0
+    # second delay starts at t=200 -> switch in [230, 260].
+    assert 230.0 <= to_weak[1][0] <= 260.0
+    # the transient delay at t=330 (10 s) must be ignored: no switch after
+    # t=320 other than completions of earlier ones.
+    assert all(not (325.0 <= t <= 420.0) for (t, _, to, _) in result.switch_log
+               if to == "eventual")
+
+    # Latency shape: strong baseline in the hundreds of ms, eventual
+    # puts well under 10 ms (paper: ~400 ms vs <10 ms).
+    assert 0.2 <= result.strong_baseline_ms / 1000 <= 0.6
+    assert result.eventual_ms < 10.0

@@ -1,0 +1,24 @@
+"""Figure 9: per-tier operation latencies for 4 KB objects in US East."""
+
+from repro.bench.experiments import run_fig9
+from repro.bench.reporting import register_report
+
+
+def test_fig9_tier_latency(benchmark):
+    result, report = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    register_report(report)
+
+    # Ordering: you get what you pay for — SSD < HDD < S3 <= S3-IA.
+    assert result.get_ms["ebs_ssd"] < result.get_ms["ebs_hdd"]
+    assert result.get_ms["ebs_hdd"] < result.get_ms["s3"]
+    assert result.get_ms["s3"] <= result.get_ms["s3_ia"]
+    assert result.put_ms["ebs_ssd"] < result.put_ms["ebs_hdd"]
+    assert result.put_ms["ebs_hdd"] < result.put_ms["s3"]
+    assert result.put_ms["s3"] <= result.put_ms["s3_ia"]
+
+    # Magnitudes: SSD ~1-3 ms, HDD under ~15 ms, object stores tens of ms.
+    assert result.get_ms["ebs_ssd"] < 4.0
+    assert result.get_ms["ebs_hdd"] < 16.0
+    assert 15.0 < result.get_ms["s3"] < 80.0
+    # Object-store puts are slower than gets (HTTP PUT of a new object).
+    assert result.put_ms["s3"] > result.get_ms["s3"]

@@ -1,0 +1,18 @@
+"""§5.3: cost savings from cold-data demotion and centralization."""
+
+from repro.bench.experiments import run_sec53
+from repro.bench.reporting import register_report
+
+
+def test_sec53_cold_cost(benchmark):
+    result, report = benchmark.pedantic(run_sec53, rounds=1, iterations=1)
+    register_report(report)
+
+    # The dollar arithmetic matches the paper exactly (same price book).
+    assert abs(result.ssd_saving - 700.0) < 1.0
+    assert abs(result.hdd_saving - 300.0) < 1.0
+    assert abs(result.centralize_saving - 300.0) < 1.0
+
+    # The mechanism works: exactly the 80 idle objects were demoted by
+    # the ColdDataMonitoring policy (compiled from the Figure 6(a) DSL).
+    assert result.demoted == 80, result.demoted

@@ -1,0 +1,29 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark registers an :class:`ExperimentReport`; this conftest
+prints all of them in the terminal summary (so ``pytest benchmarks/
+--benchmark-only`` output shows the paper-vs-measured tables) and dumps
+them under ``results/``.
+"""
+
+import pathlib
+
+import hypothesis  # noqa: F401  (preload: the pytest plugin imports it at
+#                    summary time, which can trip CPython's AST-recursion
+#                    accounting after deep simulation call stacks)
+
+from repro.bench.reporting import all_reports, dump_reports, render_all
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = all_reports()
+    if not reports:
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("Wiera reproduction: paper vs measured")
+    terminalreporter.write_line(render_all())
+    combined = dump_reports(RESULTS_DIR)
+    if combined:
+        terminalreporter.write_line(f"\n(reports written to {combined.parent})")

@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Authoring your own policies in the Wiera notation.
+
+The paper's claim is that a "rich array of policies" can be expressed in a
+concise event-response notation.  This example writes two policies from
+scratch — a compressing, archival-backed local instance and a
+primary-backup global policy over it — compiles them, launches the Wiera
+instance, and shows the mechanisms (write-through copy, fill-triggered
+backup with a bandwidth cap, compression, forwarding) all firing.
+
+Run:  python examples/custom_policy_dsl.py
+"""
+
+from repro import build_deployment
+from repro.net import US_EAST, US_WEST
+from repro.policydsl import compile_policy, parse_policy
+from repro.util.units import KB, MS
+
+LOCAL_POLICY = """
+Tiera CompressingArchive(time flush) {
+    % a small hot cache, a durable tier, and an archival backstop
+    tier1: {name: Memcached, size: 64M};
+    tier2: {name: EBS, size: 256K};
+    tier3: {name: S3, size: 10G};
+
+    % hot writes land in memory, marked dirty
+    event(insert.into) : response {
+        insert.object.dirty = true;
+        store(what: insert.object, to: tier1);
+    }
+
+    % write-back: flush dirty objects to EBS every `flush` seconds
+    event(time = flush) : response {
+        copy(what: object.location == tier1 && object.dirty == true,
+             to: tier2);
+    }
+
+    % when EBS passes 60%, compress and back up to S3, politely
+    event(tier2.filled == 60%) : response {
+        compress(what: object.location == tier2);
+        copy(what: object.location == tier2, to: tier3,
+             bandwidth: 200KB/s);
+    }
+}
+"""
+
+GLOBAL_POLICY = """
+Wiera EditorialStore() {
+    Region1 = {name: CompressingArchive, region: US-East, primary: True};
+    Region2 = {name: CompressingArchive, region: US-West};
+
+    event(insert.into) : response {
+        if (local_instance.isPrimary == True) {
+            store(what: insert.object, to: local_instance);
+            copy(what: insert.object, to: all_regions);
+        } else
+            forward(what: insert.object, to: primary_instance);
+    }
+}
+"""
+
+
+def main() -> None:
+    # parse + inspect ------------------------------------------------------
+    doc = parse_policy(LOCAL_POLICY)
+    print(f"parsed Tiera policy {doc.name!r}: "
+          f"{len(doc.tiers)} tiers, {len(doc.rules)} rules")
+    local = compile_policy(LOCAL_POLICY, params={"flush": 5.0})
+    global_spec = compile_policy(GLOBAL_POLICY,
+                                 env={"CompressingArchive": local})
+    print(f"compiled Wiera policy {global_spec.name!r}: "
+          f"consistency={global_spec.consistency} "
+          f"(inferred from the event-response rules)\n")
+
+    # launch & exercise ------------------------------------------------------
+    dep = build_deployment([US_EAST, US_WEST], seed=11)
+    instances = dep.start_wiera_instance("editorial", global_spec)
+    client = dep.add_client(US_WEST, instances=instances, name="editor")
+
+    def app():
+        # the client is in US West, so every put is forwarded to the
+        # US East primary (one RTT), then replicated back synchronously.
+        article = b"lorem ipsum dolor sit amet " * 512  # ~13 KB, compressible
+        for i in range(12):
+            result = yield from client.put(f"article-{i}", article)
+        print(f"12 articles stored; last put took "
+              f"{result['latency'] / MS:.1f} ms "
+              f"(forward to primary + sync copy back)")
+        got = yield from client.get("article-0")
+        print(f"read back article-0: {len(got['data'])} bytes intact")
+    dep.drive(app())
+
+    # let the write-back timer and fill-triggered backup do their thing
+    dep.sim.run(until=dep.sim.now + 120.0)
+
+    print("\nprimary instance tier state:")
+    primary = dep.instance("editorial", US_EAST)
+    for name, tier in primary.tiers.items():
+        print(f"  {name}: {len(tier)} objects, {tier.used_bytes / KB:.0f} KB "
+              f"({tier.profile.name})")
+    record = primary.meta.get_record("article-0")
+    meta = record.latest()
+    print(f"\narticle-0 locations: {sorted(meta.locations)}, "
+          f"encodings: {meta.encodings or '(none yet)'}")
+    if meta.encodings:
+        print(f"  compressed on tier: {meta.stored_size} of {meta.size} "
+              f"bytes ({100 * meta.stored_size / meta.size:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Benchmark/experiment harness.
+
+:mod:`repro.bench.harness` stands up complete simulated deployments
+(network + Wiera + Tiera servers + clients) in a couple of lines;
+:mod:`repro.bench.reporting` renders paper-vs-measured tables and collects
+them for the pytest terminal summary.
+"""
+
+from repro.bench.harness import (
+    Deployment,
+    build_deployment,
+    drive,
+    preload_object,
+)
+from repro.bench.reporting import ExperimentReport, register_report, render_all
+
+__all__ = [
+    "Deployment",
+    "build_deployment",
+    "drive",
+    "preload_object",
+    "ExperimentReport",
+    "register_report",
+    "render_all",
+]

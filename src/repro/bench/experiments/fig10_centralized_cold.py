@@ -1,0 +1,85 @@
+"""Figure 10: operation latency to a centralized US East S3-IA tier.
+
+When all regions share one S3-IA tier in US East for cold data (§5.3),
+reads from other regions pay the WAN round trip on top of S3-IA service
+time.  We place a Tiera instance with an S3-IA tier in US East and access
+it from instances in each region through the shared-tier mechanism
+(:class:`~repro.tiera.instance_tier.InstanceTier`).
+
+Expected shape: US East fastest; Asia East worst with get around 200 ms
+(the paper's headline number for this figure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import build_deployment
+from repro.bench.reporting import ExperimentReport
+from repro.core.global_policy import ColdDataSpec, GlobalPolicySpec, RegionPlacement
+from repro.net.topology import ASIA_EAST, EU_WEST, US_EAST, US_WEST
+from repro.policydsl import builtin_policy
+from repro.tiera.objects import storage_key
+from repro.util.units import HOUR, KB, MS
+
+REGIONS = (US_EAST, US_WEST, EU_WEST, ASIA_EAST)
+
+
+@dataclass
+class Fig10Result:
+    get_ms: dict = field(default_factory=dict)   # region -> mean ms
+    put_ms: dict = field(default_factory=dict)
+    centralized_objects: int = 0
+
+
+def run_fig10(object_size: int = 4 * KB, ops: int = 50,
+              seed: int = 0) -> tuple:
+    dep = build_deployment(REGIONS, seed=seed)
+    local = builtin_policy("SsdWithIaInstance")
+    spec = GlobalPolicySpec(
+        name="centralized-cold",
+        placements=tuple(RegionPlacement(region=r, local_policy=local)
+                         for r in REGIONS),
+        consistency="eventual", queue_interval=1.0,
+        cold=ColdDataSpec(age=120 * HOUR, target_tier="tier2",
+                          check_interval=3600.0, centralize=True,
+                          central_region=US_EAST))
+    instances = dep.start_wiera_instance("fig10", spec)
+    tim = dep.tim("fig10")
+    central = dep.instance("fig10", US_EAST)
+
+    result = Fig10Result()
+    payload = b"\xCD" * object_size
+
+    def measure():
+        for region in REGIONS:
+            instance = dep.instance("fig10", region)
+            if region == US_EAST:
+                shared = instance.tier("tier2")
+            else:
+                shared = instance.tier(tim.shared_cold_tier_name)
+            put_samples, get_samples = [], []
+            for i in range(ops):
+                skey = storage_key(f"cold-{region}-{i}", 1)
+                t0 = dep.sim.now
+                yield from shared.write(skey, payload)
+                put_samples.append(dep.sim.now - t0)
+                t0 = dep.sim.now
+                yield from shared.read(skey)
+                get_samples.append(dep.sim.now - t0)
+            result.put_ms[region] = sum(put_samples) / len(put_samples) / MS
+            result.get_ms[region] = sum(get_samples) / len(get_samples) / MS
+    dep.drive(measure())
+    result.centralized_objects = len(central.tier("tier2"))
+
+    report = ExperimentReport(
+        exp_id="fig10",
+        title="Operation latency to centralized S3-IA in US East, by "
+              "accessing region",
+        columns=["region", "put (ms)", "get (ms)"],
+        paper_claim=("highest get latency ~200 ms from Asia East; local "
+                     "US East access cheapest; put latency ignorable since "
+                     "puts stay in each region's fast tiers"))
+    for region in REGIONS:
+        report.add_row(region, result.put_ms[region], result.get_ms[region])
+    return result, report

@@ -1,0 +1,137 @@
+"""Deployment builder and simulation drivers for experiments.
+
+Mirrors the paper's testbed (§5): the Wiera service + Zookeeper on one
+host in US East, one Tiera server per requested (region, provider) on
+t2.micro-class hosts, and clients wherever the experiment places them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional, Sequence
+
+from repro.core.client import WieraClient
+from repro.core.global_policy import GlobalPolicySpec
+from repro.core.wiera import WieraService
+from repro.net.network import Network
+from repro.net.topology import US_EAST, Topology
+from repro.sim.kernel import Simulator
+from repro.storage.cost import CostLedger
+from repro.tiera.objects import ObjectRecord, VersionMeta, storage_key
+from repro.tiera.server import TieraServer
+from repro.util.rng import RngRegistry
+
+
+@dataclass
+class Deployment:
+    """One fully wired simulated testbed."""
+
+    sim: Simulator
+    network: Network
+    rng: RngRegistry
+    wiera: WieraService
+    servers: dict = field(default_factory=dict)   # (region, provider) -> TieraServer
+    ledger: Optional[CostLedger] = None
+    clients: dict = field(default_factory=dict)
+
+    # -- driving -------------------------------------------------------------
+    def drive(self, gen: Generator, name: str = "main"):
+        """Run a coroutine to completion (background processes keep going)."""
+        return drive(self.sim, gen, name=name)
+
+    def start_wiera_instance(self, wiera_id: str,
+                             spec: GlobalPolicySpec) -> list[dict]:
+        return self.drive(self.wiera.start_instances(wiera_id, spec),
+                          name=f"start:{wiera_id}")
+
+    # -- construction helpers ----------------------------------------------------
+    def add_client(self, region: str, provider: str = "aws",
+                   vm: str = "generic", name: Optional[str] = None,
+                   instances: Optional[list[dict]] = None) -> WieraClient:
+        cname = name or f"client-{region}-{len(self.clients)}"
+        host = self.network.add_host(cname, region, provider, vm)
+        client = WieraClient(self.sim, self.network, host, name=cname)
+        if instances is not None:
+            client.attach(instances)
+        self.clients[cname] = client
+        return client
+
+    def server(self, region: str, provider: str = "aws") -> TieraServer:
+        return self.servers[(region, provider)]
+
+    def tim(self, wiera_id: str):
+        return self.wiera.tim(wiera_id)
+
+    def instance(self, wiera_id: str, region: str, provider: str = "aws"):
+        """The in-proc TieraInstance handle for (wiera instance, region)."""
+        for rec in self.tim(wiera_id).instances.values():
+            if rec.region == region and rec.provider == provider and not rec.down:
+                return rec.instance
+        raise KeyError(f"no live instance of {wiera_id} in {region}/{provider}")
+
+
+def drive(sim: Simulator, gen: Generator, name: str = "main"):
+    """Run ``gen`` as a process until it finishes; re-raise its failure."""
+    proc = sim.process(gen, name=name)
+    return sim.run(until=proc)
+
+
+def build_deployment(regions: Sequence[str],
+                     providers: Optional[dict[str, Iterable[str]]] = None,
+                     seed: int = 0,
+                     wiera_region: str = US_EAST,
+                     server_vm: str = "aws.t2_micro",
+                     topology: Optional[Topology] = None,
+                     with_ledger: bool = False,
+                     heartbeat_interval: float = 5.0) -> Deployment:
+    """Stand up Wiera + one Tiera server per (region, provider).
+
+    ``providers`` maps region -> iterable of providers (default: aws only).
+    The Wiera service and its Zookeeper co-tenant live in ``wiera_region``.
+    Tiera servers are registered with the TSM and heartbeats started.
+    """
+    sim = Simulator()
+    network = Network(sim, topology)
+    rng = RngRegistry(seed)
+    ledger = CostLedger(sim) if with_ledger else None
+    wiera = WieraService(sim, network, region=wiera_region,
+                         heartbeat_interval=heartbeat_interval)
+    dep = Deployment(sim=sim, network=network, rng=rng, wiera=wiera,
+                     ledger=ledger)
+    for region in regions:
+        for provider in (providers or {}).get(region, ("aws",)):
+            vm = server_vm
+            host = network.add_host(f"tsrv-host-{region}-{provider}",
+                                    region, provider, vm)
+            server = TieraServer(sim, network, host, region, provider,
+                                 rng=rng, ledger=ledger)
+            dep.servers[(region, provider)] = server
+    drive(sim, wiera.register_servers(list(dep.servers.values())),
+          name="bootstrap")
+    return dep
+
+
+def preload_object(instances, key: str, data: bytes, tier: str | None = None,
+                   version: int = 1, now: float = 0.0) -> None:
+    """Zero-time setup: install ``key`` (one version) into each instance.
+
+    Creates the metadata record and places the bytes on ``tier`` (default:
+    the policy's default store tier).  Used to materialize large prepared
+    datasets — the SysBench file, the RUBiS database, the 10 TB cold-data
+    population — without simulating the load phase.
+    """
+    for instance in instances:
+        record = instance.meta.get_record(key)
+        if record is None:
+            record = ObjectRecord(key=key)
+            instance.meta.put_record(record)
+        if version in record.versions:
+            raise ValueError(f"{key!r} v{version} already present in "
+                             f"{instance.instance_id}")
+        target = tier or instance.policy.default_store_tier()
+        meta = VersionMeta(version=version, size=len(data), created_at=now,
+                           last_modified=now, last_accessed=now,
+                           origin=instance.instance_id,
+                           locations={target}, stored_size=len(data))
+        record.add_version(meta)
+        instance.tier(target).preload(storage_key(key, version), data)

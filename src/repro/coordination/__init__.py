@@ -1,0 +1,13 @@
+"""Coordination services: the Zookeeper/Curator substitute.
+
+Wiera relies on Zookeeper (via the Curator library) for global locking in
+the MultiPrimaries consistency policy.  We provide a lock *service* hosted
+on a simulated host (so lock acquisition pays real WAN round trips to the
+lock region, which dominates MultiPrimaries put latency) and a Curator-like
+client recipe with acquire/release and lease expiry.
+"""
+
+from repro.coordination.lock_service import LockService, LockState
+from repro.coordination.curator import GlobalLockClient
+
+__all__ = ["LockService", "LockState", "GlobalLockClient"]

@@ -1,0 +1,118 @@
+"""Wiera client library.
+
+Applications "connect to the closest instance (placed at the head of the
+list)" (§4.1 step 8) and fall back to the next-closest when an instance is
+unreachable (§4.4).  The client exposes the full object-versioning API of
+Table 2 and records app-perceived operation latencies — the quantity every
+latency figure in the paper's evaluation reports.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.net.network import Host, HostDownError, Network, NetworkError
+from repro.sim.kernel import Simulator
+from repro.sim.rpc import RpcNode
+from repro.util.stats import LatencyRecorder
+
+
+class NoInstanceAvailableError(RuntimeError):
+    """Every known instance was unreachable."""
+
+
+class WieraClient:
+    """Application-side handle: proximity-ordered instances + failover."""
+
+    def __init__(self, sim: Simulator, network: Network, host: Host,
+                 name: Optional[str] = None):
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.node = RpcNode(sim, network, host,
+                            name=name or f"client:{host.name}")
+        self.instances: list[dict] = []      # proximity-ordered
+        self.put_latency = LatencyRecorder("put")
+        self.get_latency = LatencyRecorder("get")
+        self.failovers = 0
+
+    # -- attachment -----------------------------------------------------------
+    def attach(self, instances: list[dict]) -> None:
+        """Order the instance list by current network proximity."""
+        def distance(info) -> float:
+            return self.network.oneway_latency(
+                self.host, info["node"].host, include_dynamics=False)
+        self.instances = sorted(instances, key=distance)
+
+    @property
+    def closest(self) -> dict:
+        if not self.instances:
+            raise NoInstanceAvailableError("client has no instances attached")
+        return self.instances[0]
+
+    def _candidates(self):
+        if not self.instances:
+            raise NoInstanceAvailableError("client has no instances attached")
+        return self.instances
+
+    def _invoke(self, method: str, args: dict, size: int) -> Generator:
+        """Call the closest instance, failing over down the list."""
+        last_error: Optional[Exception] = None
+        for info in self._candidates():
+            if info.get("down"):
+                continue
+            try:
+                result = yield self.node.call(info["node"], method, args,
+                                              size=size)
+                return result, info
+            except (HostDownError, NetworkError) as exc:
+                last_error = exc
+                self.failovers += 1
+                continue
+        raise NoInstanceAvailableError(
+            f"all instances unreachable for {method}: {last_error}")
+
+    # -- Table 2 API ------------------------------------------------------------
+    def put(self, key: str, data: bytes, tags=()) -> Generator:
+        start = self.sim.now
+        result, info = yield from self._invoke(
+            "put", {"key": key, "data": data, "tags": tuple(tags)},
+            size=len(data) + 256)
+        elapsed = self.sim.now - start
+        self.put_latency.record(start, elapsed, label=info["region"])
+        result["latency"] = elapsed
+        return result
+
+    def get(self, key: str) -> Generator:
+        """Retrieve the latest version (per the active consistency model)."""
+        start = self.sim.now
+        result, info = yield from self._invoke("get", {"key": key}, size=256)
+        elapsed = self.sim.now - start
+        self.get_latency.record(start, elapsed, label=info["region"])
+        result["latency"] = elapsed
+        return result
+
+    def get_version(self, key: str, version: int) -> Generator:
+        result, _ = yield from self._invoke(
+            "get_version", {"key": key, "version": version}, size=256)
+        return result
+
+    def get_version_list(self, key: str) -> Generator:
+        result, _ = yield from self._invoke(
+            "get_version_list", {"key": key}, size=256)
+        return result["versions"]
+
+    def update(self, key: str, version: int, data: bytes) -> Generator:
+        result, _ = yield from self._invoke(
+            "update", {"key": key, "version": version, "data": data},
+            size=len(data) + 256)
+        return result
+
+    def remove(self, key: str) -> Generator:
+        result, _ = yield from self._invoke("remove", {"key": key}, size=256)
+        return result
+
+    def remove_version(self, key: str, version: int) -> Generator:
+        result, _ = yield from self._invoke(
+            "remove_version", {"key": key, "version": version}, size=256)
+        return result

@@ -1,0 +1,167 @@
+"""Protocol base class, replication queue, and broadcast helpers.
+
+A single protocol object is shared by every instance of one Wiera
+instance: all its methods take the acting ``instance`` explicitly and any
+per-instance state (replication queues) is keyed by instance id.  Sharing
+one object is what makes runtime changes cheap — flipping the primary is
+one field write in a shared config, after the TIM has quiesced the group.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generator, Optional
+
+
+class ProtocolError(RuntimeError):
+    pass
+
+
+class GlobalProtocol:
+    """Interface shared by all consistency protocols."""
+
+    name = "abstract"
+
+    def attach(self, instance) -> None:
+        """Called when this protocol becomes active on ``instance``."""
+
+    def detach(self, instance) -> None:
+        """Called when the protocol is being replaced on ``instance``."""
+
+    def on_put(self, instance, key: str, data: bytes, tags=(),
+               src: str = "app") -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def on_get(self, instance, key: str,
+               version: Optional[int] = None) -> Generator:
+        """Default read: local replica, tagging whether it is known-latest."""
+        data, meta, record = yield from instance.read_version(key, version)
+        return {"data": data, "version": meta.version,
+                "latest_local": record.latest_version}
+
+    def on_replica_update(self, instance, args: dict) -> Generator:
+        """Default replica-update handling: last-write-wins merge."""
+        result = yield from instance.apply_replica_update(
+            key=args["key"], version=args["version"],
+            last_modified=args["last_modified"], data=args["data"],
+            origin=args.get("origin", ""))
+        return result
+
+    def on_remove(self, instance, key: str,
+                  version: Optional[int] = None) -> Generator:
+        removed = yield from instance.local_remove(key, version)
+        self.broadcast_async(instance, "replica_remove",
+                             {"key": key, "version": version}, size=256)
+        return {"removed": removed}
+
+    def on_replica_remove(self, instance, args: dict) -> Generator:
+        removed = yield from instance.local_remove(args["key"],
+                                                   args.get("version"))
+        return {"removed": removed}
+
+    def drain(self, instance) -> Generator:
+        return
+        yield  # pragma: no cover
+
+    # -- shared helpers -------------------------------------------------------
+    @staticmethod
+    def update_args(instance, key: str, version: int, data: bytes) -> dict:
+        record = instance.meta.get_record(key)
+        meta = record.versions[version]
+        return {"key": key, "version": version,
+                "last_modified": meta.last_modified,
+                "origin": instance.instance_id, "data": data}
+
+    @staticmethod
+    def broadcast_sync(instance, method: str, args: dict,
+                       size: int) -> Generator:
+        """Call every peer in parallel; wait for all replies.
+
+        A peer that is down/partitioned raises — MultiPrimaries treats that
+        as a failed put (strong consistency cannot silently lose a replica).
+        """
+        calls = [instance.node.call(peer.node, method, args, size=size)
+                 for peer in instance.peers.values()]
+        if calls:
+            yield instance.sim.all_of(calls)
+
+    @staticmethod
+    def broadcast_async(instance, method: str, args: dict, size: int) -> None:
+        for peer in instance.peers.values():
+            instance.node.send_oneway(peer.node, method, args, size=size)
+
+
+class ReplicationQueue:
+    """Per-instance queue of lazy updates (the ``queue`` response).
+
+    Coalesces by key — if a key is updated twice before the flush, only the
+    newest version ships, "to reduce on update traffic".  A background
+    process flushes every ``interval`` seconds; ``drain`` flushes
+    immediately and waits for delivery (used before consistency switches).
+    """
+
+    def __init__(self, instance, interval: float):
+        self.instance = instance
+        self.interval = interval
+        self.pending: OrderedDict[str, dict] = OrderedDict()
+        self._proc = None
+        self.flushes = 0
+        self.updates_sent = 0
+        self.coalesced = 0
+        self.send_failures = 0
+
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.instance.sim.process(
+                self._loop(), name=f"replq:{self.instance.instance_id}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("queue stopped")
+        self._proc = None
+
+    def enqueue(self, args: dict) -> None:
+        if args["key"] in self.pending:
+            self.coalesced += 1
+        self.pending[args["key"]] = args
+        self.pending.move_to_end(args["key"])
+
+    def _loop(self) -> Generator:
+        from repro.sim.kernel import Interrupt
+        try:
+            while True:
+                yield self.instance.sim.timeout(self.interval)
+                yield from self.flush()
+        except Interrupt:
+            return
+
+    def flush(self) -> Generator:
+        """Ship everything pending to all peers, in parallel per peer."""
+        if not self.pending:
+            return
+        batch = list(self.pending.values())
+        self.pending.clear()
+        self.flushes += 1
+        instance = self.instance
+        calls = []
+        for args in batch:
+            size = len(args["data"]) + 512
+            for peer in instance.peers.values():
+                call = instance.node.call(peer.node, "replica_update",
+                                          args, size=size)
+                # A call may fail (peer down) before we get around to
+                # yielding on it; pre-defuse so the kernel treats the
+                # failure as handled either way.
+                call.defuse()
+                calls.append(call)
+        self.updates_sent += len(calls)
+        for call in calls:
+            try:
+                yield call
+            except Exception:
+                self.send_failures += 1
+
+    def drain(self) -> Generator:
+        while self.pending:
+            yield from self.flush()

@@ -1,0 +1,62 @@
+"""Eventual consistency (Figure 4).
+
+A put stores to the local replica and queues the update for background
+distribution to all other regions; the application sees only the local
+store latency (<10 ms in Fig. 7).  There is no global order of puts, so
+each instance resolves write-write conflicts on incoming updates with
+last-write-wins (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.consistency.base import GlobalProtocol, ReplicationQueue
+
+
+class EventualConsistencyProtocol(GlobalProtocol):
+    """Local commit + lazy replication + LWW conflict resolution."""
+
+    name = "eventual"
+
+    def __init__(self, queue_interval: float = 1.0):
+        self.queue_interval = queue_interval
+        self._queues: dict[str, ReplicationQueue] = {}
+
+    def attach(self, instance) -> None:
+        queue = ReplicationQueue(instance, self.queue_interval)
+        self._queues[instance.instance_id] = queue
+        queue.start()
+
+    def detach(self, instance) -> None:
+        queue = self._queues.pop(instance.instance_id, None)
+        if queue is not None:
+            queue.stop()
+
+    def queue_for(self, instance) -> ReplicationQueue:
+        queue = self._queues.get(instance.instance_id)
+        if queue is None:
+            queue = ReplicationQueue(instance, self.queue_interval)
+            self._queues[instance.instance_id] = queue
+            queue.start()
+        return queue
+
+    def on_put(self, instance, key: str, data: bytes, tags=(),
+               src: str = "app") -> Generator:
+        version = yield from instance.local_put(key, data, tags=tags)
+        args = self.update_args(instance, key, version, data)
+        self.queue_for(instance).enqueue(args)
+        return {"version": version, "region": instance.region,
+                "consistency": self.name}
+
+    def on_get(self, instance, key: str,
+               version: Optional[int] = None) -> Generator:
+        # Eventual consistency returns the local version (§3.2.1 default).
+        data, meta, record = yield from instance.read_version(key, version)
+        return {"data": data, "version": meta.version,
+                "latest_local": record.latest_version, "strong": False}
+
+    def drain(self, instance) -> Generator:
+        queue = self._queues.get(instance.instance_id)
+        if queue is not None:
+            yield from queue.drain()

@@ -1,0 +1,131 @@
+"""PrimaryBackup consistency (Figure 3(b)).
+
+One instance is the *primary*; every other instance forwards puts to it.
+The primary propagates updates to backups either synchronously (the
+``copy`` response — minimizes get staleness) or asynchronously (the
+``queue`` response — minimizes put latency), per configuration.
+
+The shared :class:`PrimaryBackupConfig` is the single source of truth for
+who the primary is; Wiera's ChangePrimary dynamic policy (Figure 5(b))
+rewrites it after quiescing the group, and all instances immediately
+follow the new primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.consistency.base import (
+    GlobalProtocol,
+    ProtocolError,
+    ReplicationQueue,
+)
+
+
+@dataclass
+class PrimaryBackupConfig:
+    """Shared, mutable protocol configuration."""
+
+    primary_id: str
+    sync_replication: bool = True     # copy (sync) vs queue (async)
+    queue_interval: float = 1.0       # flush period for async mode
+    get_from: Optional[str] = None    # None=local; "primary"; or instance id
+    history: list = field(default_factory=list)  # (time, primary_id)
+
+
+class PrimaryBackupProtocol(GlobalProtocol):
+    """Single-primary replication with configurable update propagation."""
+
+    name = "primary_backup"
+
+    def __init__(self, config: PrimaryBackupConfig):
+        self.config = config
+        self.forwarded_puts = 0
+        self._queues: dict[str, ReplicationQueue] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    def attach(self, instance) -> None:
+        if not self.config.sync_replication:
+            queue = ReplicationQueue(instance, self.config.queue_interval)
+            self._queues[instance.instance_id] = queue
+            queue.start()
+
+    def detach(self, instance) -> None:
+        queue = self._queues.pop(instance.instance_id, None)
+        if queue is not None:
+            queue.stop()
+
+    def queue_for(self, instance) -> ReplicationQueue:
+        queue = self._queues.get(instance.instance_id)
+        if queue is None:
+            queue = ReplicationQueue(instance, self.config.queue_interval)
+            self._queues[instance.instance_id] = queue
+            queue.start()
+        return queue
+
+    # -- helpers -------------------------------------------------------------
+    def is_primary(self, instance) -> bool:
+        return instance.instance_id == self.config.primary_id
+
+    def primary_ref(self, instance):
+        ref = instance.peers.get(self.config.primary_id)
+        if ref is None:
+            raise ProtocolError(
+                f"{instance.instance_id}: primary {self.config.primary_id!r} "
+                f"not in peer table {sorted(instance.peers)}")
+        return ref
+
+    def set_primary(self, new_primary_id: str, now: float) -> str:
+        previous = self.config.primary_id
+        self.config.primary_id = new_primary_id
+        self.config.history.append((now, new_primary_id))
+        return previous
+
+    # -- data path -------------------------------------------------------------
+    def on_put(self, instance, key: str, data: bytes, tags=(),
+               src: str = "app") -> Generator:
+        if self.is_primary(instance):
+            version = yield from instance.local_put(key, data, tags=tags)
+            args = self.update_args(instance, key, version, data)
+            if self.config.sync_replication:
+                yield from self.broadcast_sync(instance, "replica_update",
+                                               args, size=len(data) + 512)
+            else:
+                self.queue_for(instance).enqueue(args)
+            return {"version": version, "region": instance.region,
+                    "primary": instance.instance_id, "consistency": self.name}
+        # Not the primary: forward (never re-forward a forwarded request —
+        # the primary may have just changed under us).
+        if src != "app":
+            raise ProtocolError(
+                f"{instance.instance_id}: forwarded put arrived at "
+                f"non-primary (primary is {self.config.primary_id})")
+        self.forwarded_puts += 1
+        ref = self.primary_ref(instance)
+        result = yield instance.node.call(
+            ref.node, "forward_put",
+            {"key": key, "data": data, "tags": tuple(tags),
+             "origin": instance.instance_id},
+            size=len(data) + 512)
+        return result
+
+    def on_get(self, instance, key: str,
+               version: Optional[int] = None) -> Generator:
+        target = self.config.get_from
+        if target == "primary" and not self.is_primary(instance):
+            target = self.config.primary_id
+        if target and target != instance.instance_id and target != "primary":
+            ref = instance.peers.get(target)
+            if ref is not None:
+                result = yield instance.node.call(
+                    ref.node, "peer_get", {"key": key, "version": version})
+                return result
+        data, meta, record = yield from instance.read_version(key, version)
+        return {"data": data, "version": meta.version,
+                "latest_local": record.latest_version}
+
+    def drain(self, instance) -> Generator:
+        queue = self._queues.get(instance.instance_id)
+        if queue is not None:
+            yield from queue.drain()

@@ -1,0 +1,128 @@
+"""Global policy specification: what a Wiera instance *is*.
+
+A :class:`GlobalPolicySpec` bundles the per-region placements (each with
+its local Tiera policy), the consistency protocol between them, and the
+optional dynamic rules — DynamicConsistency (Figure 5(a)), ChangePrimary
+(Figure 5(b)), cold-data management (Figure 6(a)) and its centralized
+variant (§5.3), and minimum-replica failure handling (§4.4).
+
+Specs are plain data, produced either programmatically, by the policy DSL
+compiler, or from the built-in policy library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.tiera.policy import LocalPolicy
+
+
+@dataclass(frozen=True)
+class RegionPlacement:
+    """One Tiera instance to launch: where, on what, with which policy."""
+
+    region: str
+    local_policy: LocalPolicy
+    provider: str = "aws"
+    primary: bool = False
+    server_hint: Optional[str] = None  # pin to a specific Tiera server
+
+
+@dataclass(frozen=True)
+class DynamicConsistencySpec:
+    """Switch between strong/weak consistency on sustained latency
+    violations (Figure 5(a): 800 ms / 30 s)."""
+
+    op: str = "put"
+    latency_threshold: float = 0.8
+    period: float = 30.0
+    strong: str = "multi_primaries"
+    weak: str = "eventual"
+    check_interval: float = 1.0
+    probe_interval: float = 2.0
+
+
+@dataclass(frozen=True)
+class ChangePrimarySpec:
+    """Move the primary towards the load (Figure 5(b))."""
+
+    window: float = 30.0        # put-history window examined
+    period: float = 15.0        # how long the imbalance must persist
+    check_interval: float = 5.0
+
+
+@dataclass(frozen=True)
+class ColdDataSpec:
+    """Demote data idle longer than ``age`` to a cheaper tier; optionally
+    keep a single centralized replica for the whole Wiera instance."""
+
+    age: float
+    target_tier: str
+    check_interval: float = 600.0
+    bandwidth: Optional[float] = None
+    centralize: bool = False
+    central_region: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LoadBalanceSpec:
+    """Shed a fraction of an overloaded instance's gets to a cool peer
+    (the RequestsMonitoring + forward pairing of §3.2.3)."""
+
+    threshold_rps: float = 50.0
+    clear_rps: float = 30.0
+    shed_fraction: float = 0.5
+    window: float = 10.0
+    check_interval: float = 5.0
+    peer_headroom: float = 0.5
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Keep at least ``min_replicas`` instances alive (§4.4)."""
+
+    min_replicas: int = 1
+    heartbeat_interval: float = 5.0
+    missed_heartbeats: int = 3
+
+
+@dataclass(frozen=True)
+class GlobalPolicySpec:
+    """A complete Wiera instance definition."""
+
+    name: str
+    placements: tuple[RegionPlacement, ...]
+    consistency: str = "eventual"   # multi_primaries|primary_backup|eventual|local
+    sync_replication: bool = True   # primary_backup: copy vs queue
+    queue_interval: float = 1.0     # flush period for lazy replication
+    get_from: Optional[str] = None  # None=local, "primary", or instance index tag
+    dynamic: Optional[DynamicConsistencySpec] = None
+    change_primary: Optional[ChangePrimarySpec] = None
+    cold: Optional[ColdDataSpec] = None
+    load_balance: Optional[LoadBalanceSpec] = None
+    failure: Optional[FailureSpec] = None
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.placements, tuple):
+            object.__setattr__(self, "placements", tuple(self.placements))
+        if not self.placements:
+            raise ValueError(f"policy {self.name!r} places no instances")
+        primaries = [p for p in self.placements if p.primary]
+        if self.consistency == "primary_backup" and len(primaries) != 1:
+            raise ValueError(
+                f"policy {self.name!r}: primary_backup requires exactly one "
+                f"primary placement, found {len(primaries)}")
+        if self.consistency not in ("multi_primaries", "primary_backup",
+                                    "eventual", "local"):
+            raise ValueError(f"unknown consistency {self.consistency!r}")
+
+    def primary_placement(self) -> Optional[RegionPlacement]:
+        for placement in self.placements:
+            if placement.primary:
+                return placement
+        return None
+
+    def regions(self) -> list[str]:
+        return [p.region for p in self.placements]

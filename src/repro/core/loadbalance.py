@@ -1,0 +1,88 @@
+"""Get-load balancing via the ``forward`` response (§3.2.3).
+
+RequestsMonitoring events fire "when a Tiera instance gets more requests
+than other instances (and thus, may be overloaded)"; the matching
+``forward`` response "forwards a request to another Tiera instance (e.g.,
+for load balancing)".  This monitor implements that pair for read traffic:
+when an instance's get rate exceeds a threshold while some peer sits well
+below it, it installs a probabilistic redirect that sheds a fraction of
+the overloaded instance's gets onto the coolest peer — and removes it
+again (with hysteresis) once the load subsides.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.global_policy import LoadBalanceSpec
+from repro.core.monitoring import MonitorBase
+from repro.sim.kernel import Interrupt
+
+
+class LoadBalancer(MonitorBase):
+    """Installs/clears get redirects based on observed get rates."""
+
+    def __init__(self, tim, spec: LoadBalanceSpec):
+        super().__init__(tim)
+        self.spec = spec
+        self.redirects_installed = 0
+        self.redirects_cleared = 0
+        self._active: dict[str, str] = {}   # overloaded id -> target id
+
+    def _rates(self) -> dict[str, float]:
+        return {
+            iid: rec.instance.gets_in_window(self.spec.window)
+            / self.spec.window
+            for iid, rec in self.tim.instances.items() if not rec.down
+        }
+
+    def _run(self) -> Generator:
+        spec = self.spec
+        try:
+            while True:
+                yield self.sim.timeout(spec.check_interval)
+                rates = self._rates()
+                if not rates:
+                    continue
+                # clear redirects whose source has cooled down
+                for iid in list(self._active):
+                    if rates.get(iid, 0.0) <= spec.clear_rps:
+                        yield from self._clear(iid)
+                # install redirects for overloaded instances
+                for iid, rate in sorted(rates.items()):
+                    if iid in self._active or rate <= spec.threshold_rps:
+                        continue
+                    target = self._coolest_peer(iid, rates)
+                    if target is not None:
+                        yield from self._install(iid, target)
+        except Interrupt:
+            return
+
+    def _coolest_peer(self, overloaded: str,
+                      rates: dict[str, float]) -> Optional[str]:
+        spec = self.spec
+        candidates = [
+            (rate, iid) for iid, rate in rates.items()
+            if iid != overloaded
+            and rate < spec.peer_headroom * spec.threshold_rps
+            and iid not in self._active
+        ]
+        if not candidates:
+            return None
+        return min(candidates)[1]
+
+    def _install(self, overloaded: str, target: str) -> Generator:
+        record = self.tim.instances[overloaded]
+        yield self.tim.node.call(record.node, "ctl_set_redirect",
+                                 {"peer": target,
+                                  "fraction": self.spec.shed_fraction})
+        self._active[overloaded] = target
+        self.redirects_installed += 1
+
+    def _clear(self, overloaded: str) -> Generator:
+        record = self.tim.instances.get(overloaded)
+        if record is not None and not record.down:
+            yield self.tim.node.call(record.node, "ctl_set_redirect",
+                                     {"peer": None})
+        self._active.pop(overloaded, None)
+        self.redirects_cleared += 1

@@ -1,0 +1,295 @@
+"""Wiera's runtime monitors: the "first-class support for dynamism".
+
+Three monitors (§3.2.3 / §4.3), each a dedicated simulation process owned
+by a Tiera Instance Manager:
+
+* :class:`LatencyMonitor` — watches put/get latencies against a threshold
+  + sustained-violation period and drives consistency switching
+  (DynamicConsistency, Figure 5(a)).  While in the weak model it estimates
+  what a strong put *would* cost via active probes (peer RTTs + lock-service
+  RTT), so it knows when conditions have recovered.
+* :class:`RequestsMonitor` — watches the primary's put history and moves
+  the primary to the instance forwarding the most requests
+  (ChangePrimary, Figure 5(b)).
+* :class:`ColdDataCoordinator` — the *centralized* cold-data variant of
+  §5.3: demote cold objects at the central instance, drop the other
+  replicas and point them at the shared tier.  (The per-instance variant
+  is an ordinary local ColdDataEvent rule.)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.global_policy import (
+    ChangePrimarySpec,
+    ColdDataSpec,
+    DynamicConsistencySpec,
+)
+from repro.sim.kernel import Interrupt
+
+#: estimated local-store component of a strong put, used by probe estimates
+_LOCAL_STORE_ESTIMATE = 0.004
+
+
+class MonitorBase:
+    """Common start/stop plumbing for monitor processes."""
+
+    def __init__(self, tim):
+        self.tim = tim
+        self.sim = tim.sim
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.sim.process(self._run(),
+                                          name=type(self).__name__)
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+        self._proc = None
+
+    def _run(self) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+class LatencyMonitor(MonitorBase):
+    """Drives DynamicConsistency switching."""
+
+    def __init__(self, tim, spec: DynamicConsistencySpec):
+        super().__init__(tim)
+        self.spec = spec
+        self.mode = "strong"
+        self._samples: dict[str, list[tuple[float, float]]] = {}
+        # Per-instance violation clocks: each instance has its own
+        # dedicated monitoring thread in the paper (§4.3); an instance
+        # with no fresh samples keeps its previous verdict rather than
+        # resetting the clock.
+        self._violating_since: dict[str, Optional[float]] = {}
+        self._ok_since: Optional[float] = None
+        self.signal_log: list[tuple[float, float, str]] = []
+        for record in tim.instances.values():
+            self._subscribe(record)
+
+    def _subscribe(self, record) -> None:
+        instance = record.instance
+        iid = instance.instance_id
+
+        def listener(op, elapsed, src, _iid=iid):
+            if op == self.spec.op and src == "app":
+                bucket = self._samples.setdefault(_iid, [])
+                bucket.append((self.sim.now, elapsed))
+                if len(bucket) > 512:
+                    del bucket[:256]
+
+        instance.latency_listeners.append(listener)
+
+    # -- signal computation ---------------------------------------------------
+    def observed_signal(self) -> Optional[float]:
+        """Worst recent app-perceived latency across instances."""
+        horizon = self.sim.now - max(2 * self.spec.check_interval, 2.0)
+        worst = None
+        for bucket in self._samples.values():
+            recent = [v for t, v in bucket if t >= horizon]
+            if recent:
+                m = max(recent)
+                worst = m if worst is None else max(worst, m)
+        return worst
+
+    def _update_violation_clocks(self) -> Optional[float]:
+        """Advance each instance's violation clock; return the longest
+        sustained violation duration (None if nobody is violating)."""
+        horizon = self.sim.now - max(4 * self.spec.check_interval, 4.0)
+        longest = None
+        for record in self.tim.instances.values():
+            iid = record.instance_id
+            bucket = self._samples.get(iid, ())
+            recent = [v for t, v in bucket if t >= horizon]
+            if recent:
+                if max(recent) > self.spec.latency_threshold:
+                    self._violating_since.setdefault(iid, self.sim.now)
+                else:
+                    self._violating_since.pop(iid, None)
+            # No recent samples: the instance keeps its previous verdict —
+            # a slow instance emits samples rarely, which must not clear
+            # its own violation clock.
+            since = self._violating_since.get(iid)
+            if since is not None:
+                duration = self.sim.now - since
+                longest = duration if longest is None else max(longest,
+                                                               duration)
+        return longest
+
+    def probe_estimate(self) -> Generator:
+        """Estimate a strong (MultiPrimaries) put latency via live probes.
+
+        strong put ~= 2 x lock RTT + max peer RTT + local store.
+        Uses the *current* network state, so injected delays and their
+        expiry are visible even while the weak model hides them from
+        application-perceived latencies.
+        """
+        worst = 0.0
+        for record in self.tim.instances.values():
+            instance = record.instance
+            if instance.host.down:
+                continue
+            t0 = self.sim.now
+            yield instance.node.call(self.tim.lock_node, "holder",
+                                     {"key": "__probe__"})
+            lock_rtt = self.sim.now - t0
+            rtts = []
+            for peer in instance.peers.values():
+                p0 = self.sim.now
+                try:
+                    yield instance.node.call(peer.node, "probe")
+                except Exception:
+                    continue
+                rtts.append(self.sim.now - p0)
+            estimate = (2 * lock_rtt + max(rtts, default=0.0)
+                        + _LOCAL_STORE_ESTIMATE)
+            worst = max(worst, estimate)
+        return worst
+
+    # -- the control loop -------------------------------------------------------
+    def _run(self) -> Generator:
+        spec = self.spec
+        try:
+            while True:
+                yield self.sim.timeout(spec.check_interval)
+                if self.mode == "strong":
+                    longest = self._update_violation_clocks()
+                    self.signal_log.append(
+                        (self.sim.now, longest or 0.0, self.mode))
+                    if longest is not None and longest >= spec.period:
+                        yield from self.tim.switch_consistency(spec.weak)
+                        self.mode = "weak"
+                        self._violating_since.clear()
+                        self._samples.clear()
+                        self._ok_since = None
+                else:
+                    # Weak mode hides violations from app latencies, so
+                    # estimate what a strong put would cost right now.
+                    signal = yield from self.probe_estimate()
+                    self.signal_log.append((self.sim.now, signal, self.mode))
+                    if signal <= spec.latency_threshold:
+                        if self._ok_since is None:
+                            self._ok_since = self.sim.now
+                        elif self.sim.now - self._ok_since >= spec.period:
+                            yield from self.tim.switch_consistency(spec.strong)
+                            self.mode = "strong"
+                            self._ok_since = None
+                            self._violating_since.clear()
+                            self._samples.clear()
+                    else:
+                        self._ok_since = None
+        except Interrupt:
+            return
+
+
+class RequestsMonitor(MonitorBase):
+    """Drives ChangePrimary: follow the forwarded-request imbalance."""
+
+    def __init__(self, tim, spec: ChangePrimarySpec):
+        super().__init__(tim)
+        self.spec = spec
+        self._candidate: Optional[str] = None
+        self._candidate_since: Optional[float] = None
+        self._cooldown_until = 0.0
+        self.evaluations = 0
+
+    def _primary_instance(self):
+        primary_id = self.tim.protocol.config.primary_id
+        record = self.tim.instances.get(primary_id)
+        return record.instance if record else None
+
+    def _run(self) -> Generator:
+        spec = self.spec
+        try:
+            while True:
+                yield self.sim.timeout(spec.check_interval)
+                if self.sim.now < self._cooldown_until:
+                    continue
+                primary = self._primary_instance()
+                if primary is None:
+                    continue
+                self.evaluations += 1
+                counts = primary.requests_in_window(spec.window)
+                app_count = counts.get("app", 0)
+                forwarded = {src: n for src, n in counts.items()
+                             if src != "app" and src in self.tim.instances}
+                if not forwarded:
+                    self._candidate = None
+                    self._candidate_since = None
+                    continue
+                top_src = max(forwarded, key=lambda s: forwarded[s])
+                top_count = forwarded[top_src]
+                if top_count >= app_count and top_count > 0:
+                    if self._candidate != top_src:
+                        self._candidate = top_src
+                        self._candidate_since = self.sim.now
+                    elif (self.sim.now - self._candidate_since
+                          >= spec.period):
+                        yield from self.tim.change_primary(top_src)
+                        self._candidate = None
+                        self._candidate_since = None
+                        # Let a full history window accumulate under the
+                        # new primary before judging again (anti-flap).
+                        self._cooldown_until = self.sim.now + spec.window
+                else:
+                    self._candidate = None
+                    self._candidate_since = None
+        except Interrupt:
+            return
+
+
+class ColdDataCoordinator(MonitorBase):
+    """Centralized cold-data management (§5.3).
+
+    Every ``check_interval``: the central instance demotes objects idle
+    for ``age`` seconds into its cheap tier; every other instance then
+    drops its local replicas of those objects and records their location
+    as the shared tier.
+    """
+
+    def __init__(self, tim, spec: ColdDataSpec):
+        super().__init__(tim)
+        if not spec.centralize:
+            raise ValueError("ColdDataCoordinator requires centralize=True")
+        self.spec = spec
+        self.centralized_objects = 0
+
+    def _central_record(self):
+        for record in self.tim.instances.values():
+            if record.region == self.spec.central_region:
+                return record
+        raise RuntimeError(
+            f"no instance in central region {self.spec.central_region!r}")
+
+    def _run(self) -> Generator:
+        spec = self.spec
+        try:
+            while True:
+                yield self.sim.timeout(spec.check_interval)
+                central = self._central_record()
+                result = yield self.tim.node.call(
+                    central.node, "ctl_demote_cold",
+                    {"age": spec.age, "to_tier": spec.target_tier,
+                     "bandwidth": spec.bandwidth})
+                demoted = result["demoted"]
+                if not demoted:
+                    continue
+                self.centralized_objects += len(demoted)
+                shared_name = self.tim.shared_cold_tier_name
+                calls = []
+                for iid, record in self.tim.instances.items():
+                    if iid == central.instance_id:
+                        continue
+                    calls.append(self.tim.node.call(
+                        record.node, "ctl_adopt_remote_cold",
+                        {"tier": shared_name, "objects": demoted}))
+                for call in calls:
+                    yield call
+        except Interrupt:
+            return

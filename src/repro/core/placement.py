@@ -1,0 +1,173 @@
+"""Automated data-placement advisor.
+
+The paper's §3.1 sketches it and defers it: "Based on this aggregated
+information, a data placement manager could generate a dynamic global
+policy automatically. ... such automated policy generation is left as
+future work."  This module implements a first, deliberately simple
+version of that future work:
+
+* **Primary placement** — pick the instance minimizing the
+  demand-weighted RTT from client regions (the quantity Table 3 reports).
+* **Replica selection** — greedy k-center over demand: repeatedly add the
+  replica that most reduces the demand-weighted distance to the nearest
+  replica (good get latency with few copies, §3.3.3's "fewer replicas").
+* **Consistency suggestion** — if the best achievable strong-put latency
+  (lock RTT + widest replica RTT) exceeds the application's latency goal,
+  suggest eventual consistency; otherwise strong.
+
+``apply()`` turns a primary recommendation into an actual
+``change_primary`` on the TIM, closing the monitoring-to-actuation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.core.workload_monitor import WorkloadMonitor
+
+
+@dataclass
+class PlacementAdvice:
+    primary_instance_id: Optional[str]
+    primary_region: Optional[str]
+    replica_regions: list[str]
+    suggested_consistency: str
+    expected_put_ms: float
+    expected_get_ms: float
+    demand: dict[str, int] = field(default_factory=dict)
+
+
+class DataPlacementAdvisor:
+    """Derives placement recommendations from live monitors."""
+
+    def __init__(self, tim, workload_monitor: WorkloadMonitor,
+                 latency_goal: float = 0.8):
+        self.tim = tim
+        self.monitor = workload_monitor
+        self.latency_goal = latency_goal
+
+    # -- helper geometry -------------------------------------------------------
+    def _region_host(self, region: str):
+        for record in self.tim.instances.values():
+            if record.region == region and not record.down:
+                return record.instance.host
+        return None
+
+    def _rtt(self, region_a: str, region_b: str) -> float:
+        host_a = self._region_host(region_a)
+        host_b = self._region_host(region_b)
+        if host_a is None or host_b is None:
+            return float("inf")
+        return self.tim.network.rtt(host_a, host_b)
+
+    def _instance_regions(self) -> list[str]:
+        return sorted({rec.region for rec in self.tim.instances.values()
+                       if not rec.down})
+
+    # -- recommendations -----------------------------------------------------
+    def weighted_put_latency(self, primary_region: str,
+                             demand: dict[str, int]) -> float:
+        """Demand-weighted forwarded-put RTT if the primary sat there."""
+        total = sum(demand.values())
+        if total == 0:
+            return 0.0
+        acc = 0.0
+        for region, weight in demand.items():
+            acc += weight * (0.0 if region == primary_region
+                             else self._rtt(region, primary_region))
+        return acc / total
+
+    def best_primary(self) -> tuple[Optional[str], float]:
+        demand = self.monitor.demand_by_region()
+        regions = self._instance_regions()
+        if not regions:
+            return None, 0.0
+        best, best_cost = None, float("inf")
+        for region in regions:
+            cost = self.weighted_put_latency(region, demand)
+            if cost < best_cost:
+                best, best_cost = region, cost
+        return best, best_cost
+
+    def replica_set(self, k: int) -> list[str]:
+        """Greedy k-center replica selection over current demand."""
+        demand = self.monitor.demand_by_region()
+        regions = self._instance_regions()
+        if not regions:
+            return []
+        k = min(k, len(regions))
+        chosen: list[str] = []
+
+        def cost_with(extra: str) -> float:
+            replicas = chosen + [extra]
+            acc = 0.0
+            for region, weight in demand.items():
+                nearest = min((self._rtt(region, r) if region != r else 0.0)
+                              for r in replicas)
+                acc += weight * nearest
+            return acc
+
+        while len(chosen) < k:
+            candidates = [r for r in regions if r not in chosen]
+            if demand:
+                chosen.append(min(candidates, key=cost_with))
+            else:
+                chosen.append(candidates[0])
+        return chosen
+
+    def advise(self, replicas: int = 2) -> PlacementAdvice:
+        demand = self.monitor.demand_by_region()
+        primary_region, put_cost = self.best_primary()
+        replica_regions = self.replica_set(replicas)
+
+        # strong-put estimate: lock round trips to the Wiera host plus the
+        # widest RTT from the primary to any replica.
+        expected_put = put_cost
+        strong_put = put_cost
+        if primary_region is not None:
+            lock_host = self.tim.node.host
+            primary_host = self._region_host(primary_region)
+            lock_rtt = (self.tim.network.rtt(primary_host, lock_host)
+                        if primary_host is not None else 0.0)
+            widest = max((self._rtt(primary_region, r)
+                          for r in replica_regions if r != primary_region),
+                         default=0.0)
+            strong_put = 2 * lock_rtt + widest + put_cost
+        consistency = ("multi_primaries"
+                       if strong_put <= self.latency_goal else "eventual")
+
+        # get estimate: demand-weighted distance to the nearest replica.
+        total = sum(demand.values())
+        get_cost = 0.0
+        if total and replica_regions:
+            for region, weight in demand.items():
+                nearest = min((self._rtt(region, r) if region != r else 0.0)
+                              for r in replica_regions)
+                get_cost += weight * nearest
+            get_cost /= total
+
+        primary_id = None
+        if primary_region is not None:
+            for iid, rec in sorted(self.tim.instances.items()):
+                if rec.region == primary_region and not rec.down:
+                    primary_id = iid
+                    break
+        return PlacementAdvice(
+            primary_instance_id=primary_id,
+            primary_region=primary_region,
+            replica_regions=replica_regions,
+            suggested_consistency=consistency,
+            expected_put_ms=expected_put * 1000,
+            expected_get_ms=get_cost * 1000,
+            demand=demand)
+
+    def apply(self, advice: Optional[PlacementAdvice] = None) -> Generator:
+        """Actuate the primary recommendation (PrimaryBackup only)."""
+        if advice is None:
+            advice = self.advise()
+        if advice.primary_instance_id is None:
+            return {"changed": False, "reason": "no recommendation"}
+        result = yield from self.tim.change_primary(
+            advice.primary_instance_id)
+        return result

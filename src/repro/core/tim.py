@@ -1,0 +1,355 @@
+"""Tiera Instance Manager (TIM).
+
+One TIM per running Wiera instance (§3.1 / §4.1): it launches the Tiera
+instances via the Tiera servers, propagates the peer table, attaches the
+shared consistency protocol, runs the dynamic-policy monitors, and
+executes runtime changes — consistency switches (with request gating and
+queue draining, §3.3.2) and primary migration — plus replica recovery
+after server failures (§4.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.coordination.curator import GlobalLockClient
+from repro.core.consistency import (
+    EventualConsistencyProtocol,
+    MultiPrimariesProtocol,
+    PrimaryBackupConfig,
+    PrimaryBackupProtocol,
+)
+from repro.core.global_policy import GlobalPolicySpec, RegionPlacement
+from repro.core.monitoring import (
+    ColdDataCoordinator,
+    LatencyMonitor,
+    RequestsMonitor,
+)
+from repro.sim.rpc import RpcNode
+from repro.tiera.instance import InstanceRef
+from repro.tiera.instance_tier import InstanceTier
+from repro.tiera.local_protocol import LocalOnlyProtocol
+
+
+class WieraInstanceError(RuntimeError):
+    pass
+
+
+@dataclass
+class InstanceRecord:
+    """Everything the TIM knows about one spawned Tiera instance."""
+
+    instance_id: str
+    region: str
+    provider: str
+    server_id: str
+    node: RpcNode
+    instance: object           # in-proc handle (instances run in-server)
+    placement: RegionPlacement
+    ref: InstanceRef = None
+    down: bool = False
+
+
+class TieraInstanceManager:
+    """Manages the Tiera instances of one Wiera instance."""
+
+    _seq = itertools.count(1)
+
+    def __init__(self, sim, network, wiera, wiera_instance_id: str,
+                 spec: GlobalPolicySpec, lock_node: RpcNode):
+        self.sim = sim
+        self.network = network
+        self.wiera = wiera
+        self.wiera_instance_id = wiera_instance_id
+        self.spec = spec
+        self.lock_node = lock_node
+        self.node = RpcNode(sim, network, wiera.host,
+                            name=f"tim:{wiera_instance_id}:{next(self._seq)}")
+        self.instances: dict[str, InstanceRecord] = {}
+        self.protocol = None
+        self.monitors: list = []
+        self.switch_log: list[tuple[float, str, str, float]] = []
+        self.shared_cold_tier_name = "shared_cold"
+        self.running = False
+
+    # ------------------------------------------------------------------
+    # launch (the 8-step protocol of §4.1)
+    # ------------------------------------------------------------------
+    def launch(self) -> Generator:
+        spec = self.spec
+        # Steps 3-5: ask each region's Tiera server to spawn an instance.
+        for placement in spec.placements:
+            server = self.wiera.tsm.pick_server(
+                placement.region, placement.provider, placement.server_hint)
+            instance_id = self._instance_id(placement)
+            result = yield self.node.call(server.node, "spawn_instance", {
+                "instance_id": instance_id,
+                "policy": placement.local_policy,
+            })
+            record = InstanceRecord(
+                instance_id=instance_id, region=placement.region,
+                provider=placement.provider, server_id=server.server_id,
+                node=result["node"], instance=result["instance"],
+                placement=placement)
+            record.ref = InstanceRef(instance_id, placement.region,
+                                     record.node)
+            self.instances[instance_id] = record
+            self._wire(record)
+        # Step 6: propagate peer info to all instances.
+        yield from self._propagate_peers()
+        # Attach the consistency protocol.
+        self.protocol = self._build_protocol(spec.consistency)
+        yield from self._install_protocol(self.protocol)
+        # Centralized cold data needs shared tiers on the non-central
+        # instances before its coordinator starts.
+        if spec.cold is not None and spec.cold.centralize:
+            yield from self._install_shared_cold_tier()
+        self._start_monitors()
+        if spec.failure is not None:
+            self.wiera.tsm.watch(self)
+        self.running = True
+        return self.instance_list()
+
+    def _instance_id(self, placement: RegionPlacement) -> str:
+        base = f"{self.wiera_instance_id}-{placement.region}"
+        if placement.provider != "aws":
+            base += f"-{placement.provider}"
+        candidate, n = base, 1
+        while candidate in self.instances:
+            n += 1
+            candidate = f"{base}-{n}"
+        return candidate
+
+    def _wire(self, record: InstanceRecord) -> None:
+        instance = record.instance
+        instance.wiera = self
+        instance.lock_client = GlobalLockClient(instance.node, self.lock_node)
+
+    def _propagate_peers(self) -> Generator:
+        refs = {iid: rec.ref for iid, rec in self.instances.items()
+                if not rec.down}
+        calls = [self.node.call(rec.node, "ctl_set_peers", {"peers": refs})
+                 for rec in self.instances.values() if not rec.down]
+        for call in calls:
+            yield call
+
+    def _install_protocol(self, protocol) -> Generator:
+        calls = [self.node.call(rec.node, "ctl_set_protocol",
+                                {"protocol": protocol})
+                 for rec in self.instances.values() if not rec.down]
+        for call in calls:
+            yield call
+
+    def _start_monitors(self) -> None:
+        spec = self.spec
+        if spec.dynamic is not None:
+            self.monitors.append(LatencyMonitor(self, spec.dynamic))
+        if spec.change_primary is not None:
+            self.monitors.append(RequestsMonitor(self, spec.change_primary))
+        if spec.cold is not None and spec.cold.centralize:
+            self.monitors.append(ColdDataCoordinator(self, spec.cold))
+        if spec.load_balance is not None:
+            from repro.core.loadbalance import LoadBalancer
+            self.monitors.append(LoadBalancer(self, spec.load_balance))
+        for monitor in self.monitors:
+            monitor.start()
+
+    # ------------------------------------------------------------------
+    # protocol construction
+    # ------------------------------------------------------------------
+    def _resolve_instance_id(self, region_or_id: Optional[str]) -> Optional[str]:
+        if region_or_id in (None, "primary"):
+            return region_or_id
+        if region_or_id in self.instances:
+            return region_or_id
+        for iid, rec in self.instances.items():
+            if rec.region == region_or_id:
+                return iid
+        raise WieraInstanceError(
+            f"cannot resolve {region_or_id!r} to an instance")
+
+    def _primary_instance_id(self) -> str:
+        for iid, rec in self.instances.items():
+            if rec.placement.primary:
+                return iid
+        raise WieraInstanceError(
+            f"{self.wiera_instance_id}: no primary placement")
+
+    def _build_protocol(self, name: str):
+        spec = self.spec
+        if name == "multi_primaries":
+            return MultiPrimariesProtocol()
+        if name == "primary_backup":
+            existing = getattr(self.protocol, "config", None)
+            primary_id = (existing.primary_id if existing is not None
+                          else self._primary_instance_id())
+            config = PrimaryBackupConfig(
+                primary_id=primary_id,
+                sync_replication=spec.sync_replication,
+                queue_interval=spec.queue_interval,
+                get_from=self._resolve_instance_id(spec.get_from))
+            config.history.append((self.sim.now, primary_id))
+            return PrimaryBackupProtocol(config)
+        if name == "eventual":
+            return EventualConsistencyProtocol(spec.queue_interval)
+        if name == "local":
+            return LocalOnlyProtocol()
+        raise WieraInstanceError(f"unknown protocol {name!r}")
+
+    # ------------------------------------------------------------------
+    # runtime changes
+    # ------------------------------------------------------------------
+    def switch_consistency(self, to_name: str) -> Generator:
+        """Gate, drain, swap, reopen (§3.3.2): requests arriving during the
+        switch are blocked and queued until the change takes effect."""
+        start = self.sim.now
+        from_name = self.protocol.name if self.protocol else "none"
+        alive = [rec for rec in self.instances.values() if not rec.down]
+        for rec in alive:
+            yield self.node.call(rec.node, "ctl_close_gate")
+        for rec in alive:
+            yield self.node.call(rec.node, "ctl_drain")
+        new_protocol = self._build_protocol(to_name)
+        yield from self._install_protocol(new_protocol)
+        self.protocol = new_protocol
+        for rec in alive:
+            yield self.node.call(rec.node, "ctl_open_gate")
+        self.switch_log.append((start, from_name, to_name, self.sim.now))
+        return {"from": from_name, "to": to_name,
+                "took": self.sim.now - start}
+
+    def change_primary(self, new_primary_id: str) -> Generator:
+        """Move the primary role (Figure 5(b)); queued updates apply first."""
+        if not isinstance(self.protocol, PrimaryBackupProtocol):
+            raise WieraInstanceError("change_primary requires primary_backup")
+        if new_primary_id not in self.instances:
+            raise WieraInstanceError(f"unknown instance {new_primary_id!r}")
+        start = self.sim.now
+        old_id = self.protocol.config.primary_id
+        if old_id == new_primary_id:
+            return {"primary": old_id, "changed": False}
+        alive = [rec for rec in self.instances.values() if not rec.down]
+        for rec in alive:
+            yield self.node.call(rec.node, "ctl_close_gate")
+        old_rec = self.instances.get(old_id)
+        if old_rec is not None and not old_rec.down:
+            yield self.node.call(old_rec.node, "ctl_drain")
+        self.protocol.set_primary(new_primary_id, self.sim.now)
+        for rec in alive:
+            yield self.node.call(rec.node, "ctl_open_gate")
+        return {"primary": new_primary_id, "previous": old_id,
+                "changed": True, "took": self.sim.now - start}
+
+    # ------------------------------------------------------------------
+    # failure handling (§4.4)
+    # ------------------------------------------------------------------
+    def on_server_down(self, server_id: str) -> None:
+        affected = [rec for rec in self.instances.values()
+                    if rec.server_id == server_id and not rec.down]
+        if not affected:
+            return
+        for rec in affected:
+            rec.down = True
+        if self.spec.failure is None:
+            return
+        alive = sum(1 for rec in self.instances.values() if not rec.down)
+        if alive < self.spec.failure.min_replicas:
+            self.sim.process(self._recover(affected),
+                             name=f"recover:{self.wiera_instance_id}")
+
+    def _recover(self, lost: list[InstanceRecord]) -> Generator:
+        for rec in lost:
+            replacement = self.wiera.tsm.pick_server(
+                rec.region, rec.provider, exclude_down=True,
+                fallback_any=True)
+            if replacement is None:
+                continue
+            instance_id = f"{rec.instance_id}-r{int(self.sim.now)}"
+            result = yield self.node.call(replacement.node, "spawn_instance", {
+                "instance_id": instance_id,
+                "policy": rec.placement.local_policy,
+            })
+            new_rec = InstanceRecord(
+                instance_id=instance_id, region=replacement.region,
+                provider=replacement.provider,
+                server_id=replacement.server_id,
+                node=result["node"], instance=result["instance"],
+                placement=rec.placement)
+            new_rec.ref = InstanceRef(instance_id, replacement.region,
+                                      new_rec.node)
+            self.instances[instance_id] = new_rec
+            self._wire(new_rec)
+            yield from self._propagate_peers()
+            yield self.node.call(new_rec.node, "ctl_set_protocol",
+                                 {"protocol": self.protocol})
+            yield from self._resync(new_rec)
+
+    def _resync(self, record: InstanceRecord) -> Generator:
+        """Pull the latest version of every key from a live peer."""
+        donor = next((rec for rec in self.instances.values()
+                      if not rec.down and rec is not record), None)
+        if donor is None:
+            return
+        listing = yield self.node.call(donor.node, "list_keys")
+        instance = record.instance
+        for key, latest in listing["keys"]:
+            if latest == 0:
+                continue
+            try:
+                got = yield instance.node.call(donor.node, "peer_get",
+                                               {"key": key})
+            except Exception:
+                continue
+            yield from instance.local_put(
+                key, got["data"], version=got["version"],
+                origin=got.get("origin", donor.instance_id),
+                last_modified=got.get("last_modified"))
+
+    # ------------------------------------------------------------------
+    # centralized cold data
+    # ------------------------------------------------------------------
+    def _install_shared_cold_tier(self) -> Generator:
+        spec = self.spec.cold
+        central = next((rec for rec in self.instances.values()
+                        if rec.region == spec.central_region), None)
+        if central is None:
+            raise WieraInstanceError(
+                f"no instance in central region {spec.central_region!r}")
+        target_profile = central.instance.tier(spec.target_tier).profile
+        for rec in self.instances.values():
+            if rec is central:
+                continue
+            oneway = self.network.oneway_latency(
+                rec.instance.host, central.instance.host,
+                include_dynamics=False)
+            shared = InstanceTier(
+                self.sim, rec.instance.node, central.node, spec.target_tier,
+                name=self.shared_cold_tier_name,
+                remote_profile=target_profile, estimated_oneway=oneway)
+            yield self.node.call(rec.node, "ctl_add_tier", {
+                "name": self.shared_cold_tier_name, "backend": shared})
+
+    # ------------------------------------------------------------------
+    # lifecycle & queries
+    # ------------------------------------------------------------------
+    def instance_list(self) -> list[dict]:
+        return [{"instance_id": iid, "region": rec.region,
+                 "provider": rec.provider, "node": rec.node,
+                 "down": rec.down}
+                for iid, rec in self.instances.items()]
+
+    def stop(self) -> Generator:
+        self.running = False
+        for monitor in self.monitors:
+            monitor.stop()
+        self.monitors.clear()
+        for rec in self.instances.values():
+            if rec.down:
+                continue
+            server = self.wiera.tsm.servers.get(rec.server_id)
+            if server is None or server.host.down:
+                continue
+            yield self.node.call(server.node, "stop_instance",
+                                 {"instance_id": rec.instance_id})

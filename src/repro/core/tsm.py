@@ -1,0 +1,117 @@
+"""Tiera Server Manager (TSM).
+
+Holds the registry of Tiera servers across regions/providers, checks their
+health with periodic pings (§4.1: "periodically sends a 'ping' message"),
+and notifies watching TIMs when a server dies so they can re-create
+replicas (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.sim.kernel import Interrupt
+from repro.sim.rpc import Message, RpcNode
+
+
+@dataclass
+class ServerRecord:
+    server_id: str
+    region: str
+    provider: str
+    node: RpcNode
+    server: object        # in-proc TieraServer handle
+    alive: bool = True
+    missed: int = 0
+    last_seen: float = 0.0
+
+    @property
+    def host(self):
+        return self.node.host
+
+
+class TieraServerManager:
+    """Server registry + heartbeat prober + failure notifier."""
+
+    def __init__(self, sim, node: RpcNode, heartbeat_interval: float = 5.0,
+                 missed_threshold: int = 3):
+        self.sim = sim
+        self.node = node
+        self.heartbeat_interval = heartbeat_interval
+        self.missed_threshold = missed_threshold
+        self.servers: dict[str, ServerRecord] = {}
+        self._watchers: list = []   # TIMs interested in failures
+        self._hb_proc = None
+        self.deaths_detected = 0
+        node.register("register_server", self.rpc_register_server)
+
+    # -- registration -----------------------------------------------------
+    def rpc_register_server(self, msg: Message) -> Generator:
+        yield self.sim.timeout(0.0001)
+        record = ServerRecord(
+            server_id=msg.args["server_id"], region=msg.args["region"],
+            provider=msg.args["provider"], node=msg.args["server"].node,
+            server=msg.args["server"], last_seen=self.sim.now)
+        self.servers[record.server_id] = record
+        return {"registered": record.server_id}
+
+    def watch(self, tim) -> None:
+        if tim not in self._watchers:
+            self._watchers.append(tim)
+
+    # -- selection ----------------------------------------------------------
+    def pick_server(self, region: str, provider: str = "aws",
+                    hint: Optional[str] = None, exclude_down: bool = True,
+                    fallback_any: bool = False) -> Optional[ServerRecord]:
+        """Choose a server for a placement; ``hint`` pins a server id."""
+        if hint is not None:
+            record = self.servers.get(hint)
+            if record is None:
+                raise KeyError(f"no Tiera server {hint!r} registered")
+            return record
+        candidates = [r for r in self.servers.values()
+                      if r.region == region and r.provider == provider
+                      and (r.alive or not exclude_down)]
+        if not candidates and fallback_any:
+            candidates = [r for r in self.servers.values()
+                          if r.region == region and (r.alive or not exclude_down)]
+        if not candidates and fallback_any:
+            candidates = [r for r in self.servers.values() if r.alive]
+        if not candidates:
+            raise KeyError(
+                f"no Tiera server available in {region}/{provider} "
+                f"(registered: {sorted(self.servers)})")
+        return sorted(candidates, key=lambda r: r.server_id)[0]
+
+    # -- heartbeats --------------------------------------------------------------
+    def start_heartbeats(self) -> None:
+        if self._hb_proc is None or not self._hb_proc.is_alive:
+            self._hb_proc = self.sim.process(self._heartbeat_loop(),
+                                             name="tsm:heartbeat")
+
+    def stop_heartbeats(self) -> None:
+        if self._hb_proc is not None and self._hb_proc.is_alive:
+            self._hb_proc.interrupt("tsm stopped")
+        self._hb_proc = None
+
+    def _heartbeat_loop(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.heartbeat_interval)
+                for record in list(self.servers.values()):
+                    if not record.alive:
+                        continue
+                    try:
+                        yield self.node.call(record.node, "ping")
+                        record.missed = 0
+                        record.last_seen = self.sim.now
+                    except Exception:
+                        record.missed += 1
+                        if record.missed >= self.missed_threshold:
+                            record.alive = False
+                            self.deaths_detected += 1
+                            for tim in self._watchers:
+                                tim.on_server_down(record.server_id)
+        except Interrupt:
+            return

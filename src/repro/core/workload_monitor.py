@@ -1,0 +1,133 @@
+"""Workload monitor (§3.1).
+
+"The workload monitor aggregates workload related information such as
+users' locations (number of requests from each instance), access patterns,
+and object sizes."  This component polls every instance of a Wiera
+instance over RPC and keeps a windowed aggregate that the data-placement
+advisor (and operators) can consult.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.sim.kernel import Interrupt
+from repro.util.stats import OnlineStats
+
+
+@dataclass
+class WorkloadSnapshot:
+    """One polling round's view of the whole Wiera instance."""
+
+    time: float
+    requests_by_region: dict[str, int] = field(default_factory=dict)
+    puts_by_region: dict[str, int] = field(default_factory=dict)
+    gets_by_region: dict[str, int] = field(default_factory=dict)
+    objects_by_region: dict[str, int] = field(default_factory=dict)
+    bytes_by_region: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.requests_by_region.values())
+
+    def read_fraction(self) -> float:
+        gets = sum(self.gets_by_region.values())
+        puts = sum(self.puts_by_region.values())
+        total = gets + puts
+        return gets / total if total else 0.0
+
+
+class WorkloadMonitor:
+    """Periodically polls instance stats and derives demand aggregates."""
+
+    def __init__(self, tim, poll_interval: float = 10.0,
+                 history: int = 64):
+        self.tim = tim
+        self.sim = tim.sim
+        self.poll_interval = poll_interval
+        self.snapshots: deque[WorkloadSnapshot] = deque(maxlen=history)
+        self.object_size = OnlineStats()
+        self._last_counts: dict[str, tuple[int, int]] = {}
+        self._proc = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.sim.process(self._run(), name="workload-mon")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+        self._proc = None
+
+    # -- polling -------------------------------------------------------------
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.poll_interval)
+                yield from self.poll_once()
+        except Interrupt:
+            return
+
+    def poll_once(self) -> Generator:
+        snapshot = WorkloadSnapshot(time=self.sim.now)
+        for record in self.tim.instances.values():
+            if record.down:
+                continue
+            try:
+                stats = yield self.tim.node.call(record.node, "stats")
+            except Exception:
+                continue
+            region = stats["region"]
+            puts, gets = stats["puts_from_app"], stats["gets_from_app"]
+            prev_puts, prev_gets = self._last_counts.get(
+                record.instance_id, (0, 0))
+            self._last_counts[record.instance_id] = (puts, gets)
+            dp = max(0, puts - prev_puts)
+            dg = max(0, gets - prev_gets)
+            snapshot.puts_by_region[region] = (
+                snapshot.puts_by_region.get(region, 0) + dp)
+            snapshot.gets_by_region[region] = (
+                snapshot.gets_by_region.get(region, 0) + dg)
+            snapshot.requests_by_region[region] = (
+                snapshot.requests_by_region.get(region, 0) + dp + dg)
+            snapshot.objects_by_region[region] = stats["objects"]
+            snapshot.bytes_by_region[region] = sum(
+                t["used"] for t in stats["tiers"].values())
+        self.snapshots.append(snapshot)
+        self._observe_sizes()
+        return snapshot
+
+    def _observe_sizes(self) -> None:
+        for record in self.tim.instances.values():
+            if record.down:
+                continue
+            for obj in record.instance.meta.records():
+                meta = obj.latest()
+                if meta is not None:
+                    self.object_size.add(meta.size)
+                break  # sample one record per instance per round — cheap
+
+    # -- aggregates --------------------------------------------------------------
+    def demand_by_region(self, window: Optional[int] = None) -> dict[str, int]:
+        """Summed request deltas per client-facing region."""
+        rounds = list(self.snapshots)[-window:] if window else self.snapshots
+        out: dict[str, int] = {}
+        for snap in rounds:
+            for region, n in snap.requests_by_region.items():
+                out[region] = out.get(region, 0) + n
+        return out
+
+    def busiest_region(self) -> Optional[str]:
+        demand = self.demand_by_region()
+        if not demand:
+            return None
+        return max(sorted(demand), key=lambda r: demand[r])
+
+    def read_fraction(self) -> float:
+        gets = sum(sum(s.gets_by_region.values()) for s in self.snapshots)
+        puts = sum(sum(s.puts_by_region.values()) for s in self.snapshots)
+        total = gets + puts
+        return gets / total if total else 0.0

@@ -1,0 +1,12 @@
+"""Mini page-based relational store (the MySQL stand-in for RUBiS).
+
+A deliberately small but real database engine: fixed-size rows packed into
+fixed-size pages on a :class:`~repro.fs.device.BlockFile`, a bounded LRU
+buffer pool (the paper shrinks MySQL's buffer to its 16 MB minimum and
+sets O_DIRECT, so most row accesses hit the device — we reproduce exactly
+that regime), and write-through page updates.
+"""
+
+from repro.db.minidb import MiniDB, Table, DbError
+
+__all__ = ["MiniDB", "Table", "DbError"]

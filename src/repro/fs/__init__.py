@@ -1,0 +1,24 @@
+"""POSIX-style file layer over Wiera (the FUSE substitute, §5.4).
+
+The paper builds a FUSE filesystem so unmodified POSIX applications
+(SysBench, MySQL under RUBiS) can run on Wiera.  :class:`WieraFS` plays
+that role here: file reads/writes are mapped onto block-aligned Wiera
+objects and forwarded through a :class:`~repro.core.client.WieraClient`,
+so an application's IO traverses the exact policy/consistency path a
+hand-written Wiera application would.
+
+:mod:`repro.fs.device` provides the uniform block-file interface the IO
+workloads drive, with a direct-attached-disk implementation (the "without
+Wiera" baseline) and a Wiera-backed implementation.
+"""
+
+from repro.fs.posixfs import FileHandle, WieraFS
+from repro.fs.device import BlockFile, TierBlockFile, WieraBlockFile
+
+__all__ = [
+    "WieraFS",
+    "FileHandle",
+    "BlockFile",
+    "TierBlockFile",
+    "WieraBlockFile",
+]

@@ -1,0 +1,89 @@
+"""Uniform block-file interface for the IO benchmarks.
+
+SysBench and the mini-DB drive a :class:`BlockFile`: fixed-size blocks,
+``read_block``/``write_block`` generators.  Two implementations mirror the
+two storage settings of §5.4:
+
+* :class:`TierBlockFile` — direct IO against a locally attached disk tier
+  (the "Azure local disk without Wiera" baseline), and
+* :class:`WieraBlockFile` — block IO through the POSIX layer over Wiera
+  (the "remote memory through Wiera" configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.fs.posixfs import FileHandle
+from repro.storage.backend import StorageBackend
+from repro.util.units import KB
+
+
+class BlockFile:
+    """Abstract fixed-block random-access file."""
+
+    block_size: int
+    nblocks: int
+
+    def read_block(self, index: int) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def write_block(self, index: int, data: bytes) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.nblocks:
+            raise IndexError(f"block {index} out of range 0..{self.nblocks - 1}")
+
+
+class TierBlockFile(BlockFile):
+    """Blocks stored directly on a storage tier (attached disk)."""
+
+    def __init__(self, backend: StorageBackend, name: str,
+                 nblocks: int, block_size: int = 16 * KB):
+        self.backend = backend
+        self.name = name
+        self.nblocks = nblocks
+        self.block_size = block_size
+
+    def _key(self, index: int) -> str:
+        return f"{self.name}:blk:{index}"
+
+    def prepare(self, fill: bytes = b"\0") -> None:
+        """Zero-time setup: materialize every block (the sysbench prepare
+        phase / mkfs)."""
+        pattern = (fill * self.block_size)[:self.block_size]
+        for i in range(self.nblocks):
+            self.backend.preload(self._key(i), pattern)
+
+    def read_block(self, index: int) -> Generator:
+        self._check(index)
+        data = yield from self.backend.read(self._key(index))
+        return data
+
+    def write_block(self, index: int, data: bytes) -> Generator:
+        self._check(index)
+        yield from self.backend.write(self._key(index), data)
+
+
+class WieraBlockFile(BlockFile):
+    """Blocks accessed through the POSIX layer over Wiera."""
+
+    def __init__(self, handle: FileHandle, nblocks: int):
+        self.handle = handle
+        self.nblocks = nblocks
+        self.block_size = handle.fs.block_size
+
+    def read_block(self, index: int) -> Generator:
+        self._check(index)
+        data = yield from self.handle.pread(index * self.block_size,
+                                            self.block_size)
+        if len(data) < self.block_size:
+            data = data.ljust(self.block_size, b"\0")
+        return data
+
+    def write_block(self, index: int, data: bytes) -> Generator:
+        self._check(index)
+        yield from self.handle.pwrite(index * self.block_size, data)

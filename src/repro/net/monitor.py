@@ -1,0 +1,56 @@
+"""Network monitor: aggregates observed inter-host latencies.
+
+The paper's Wiera architecture includes a network monitor that "aggregates
+latency information for handling requests from each instance and latencies
+between instances".  This component records per-(src,dst) transfer
+latencies and exposes moving-window aggregates that global policies (and a
+future automated data-placement manager) can consult.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.network import Host
+from repro.sim.kernel import Simulator
+from repro.util.stats import OnlineStats
+
+
+class NetworkMonitor:
+    """Sliding-window latency observations per directed host pair."""
+
+    def __init__(self, sim: Simulator, window: float = 60.0):
+        self.sim = sim
+        self.window = window
+        self._samples: dict[tuple[str, str], deque[tuple[float, float]]] = {}
+        self.totals: dict[tuple[str, str], OnlineStats] = {}
+
+    def attach(self, network) -> None:
+        network.monitor = self
+
+    def record_transfer(self, src: Host, dst: Host, nbytes: int,
+                        elapsed: float) -> None:
+        key = (src.name, dst.name)
+        dq = self._samples.setdefault(key, deque())
+        dq.append((self.sim.now, elapsed))
+        self._trim(dq)
+        self.totals.setdefault(key, OnlineStats()).add(elapsed)
+
+    def _trim(self, dq: deque) -> None:
+        horizon = self.sim.now - self.window
+        while dq and dq[0][0] < horizon:
+            dq.popleft()
+
+    def recent_latencies(self, src: str, dst: str) -> list[float]:
+        dq = self._samples.get((src, dst))
+        if not dq:
+            return []
+        self._trim(dq)
+        return [v for _, v in dq]
+
+    def mean_latency(self, src: str, dst: str) -> float | None:
+        vals = self.recent_latencies(src, dst)
+        return sum(vals) / len(vals) if vals else None
+
+    def observed_pairs(self) -> list[tuple[str, str]]:
+        return sorted(self.totals)

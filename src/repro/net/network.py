@@ -1,0 +1,184 @@
+"""Hosts and the network facade: transfers, dynamics, failures.
+
+The :class:`Network` is the single authority on "how long does it take to
+move N bytes from host A to host B right now".  It layers, in order:
+per-message NIC delays (VM throttling), egress-link serialization
+(bandwidth), propagation latency (topology), and *runtime dynamics* —
+injected extra delays on hosts or region pairs, host crashes, partitions.
+The dynamics hooks are what the Fig. 7 experiment uses to simulate the
+network/storage delays that trip the DynamicConsistency policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.net.link import BandwidthLink
+from repro.net.topology import Topology
+from repro.net.vmprofiles import VmProfile, get_profile
+from repro.sim.kernel import Simulator
+
+
+class NetworkError(RuntimeError):
+    """A transfer could not be carried out (partition, unreachable)."""
+
+
+class HostDownError(NetworkError):
+    """The destination host has crashed or been stopped."""
+
+
+@dataclass
+class _Injection:
+    """An extra delay active during [start, end)."""
+
+    start: float
+    end: float
+    extra: float
+
+    def active_extra(self, now: float) -> float:
+        return self.extra if self.start <= now < self.end else 0.0
+
+
+class Host:
+    """A simulated machine: placement, VM envelope, and liveness."""
+
+    def __init__(self, sim: Simulator, name: str, region: str,
+                 provider: str = "aws", vm: str | VmProfile = "generic"):
+        self.sim = sim
+        self.name = name
+        self.region = region
+        self.provider = provider
+        self.vm: VmProfile = vm if isinstance(vm, VmProfile) else get_profile(vm)
+        self.egress = BandwidthLink(sim, self.vm.network_bw, name=f"{name}.egress")
+        self.down = False
+
+    def crash(self) -> None:
+        self.down = True
+
+    def recover(self) -> None:
+        self.down = False
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} {self.provider}/{self.region} {'DOWN' if self.down else 'up'}>"
+
+
+class Network:
+    """Topology + hosts + dynamics; produces transfer generators."""
+
+    def __init__(self, sim: Simulator, topology: Optional[Topology] = None):
+        self.sim = sim
+        self.topology = topology or Topology()
+        self.hosts: dict[str, Host] = {}
+        self._host_injections: dict[str, list[_Injection]] = {}
+        self._pair_injections: dict[frozenset[str], list[_Injection]] = {}
+        self._partitions: dict[frozenset[str], float] = {}  # pair -> end time
+        self.monitor = None  # optional NetworkMonitor
+        self.bytes_transferred = 0
+        self.messages_sent = 0
+
+    # -- host management ----------------------------------------------------
+    def add_host(self, name: str, region: str, provider: str = "aws",
+                 vm: str | VmProfile = "generic") -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        host = Host(self.sim, name, region, provider, vm)
+        self.hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    # -- dynamics -------------------------------------------------------------
+    def inject_host_delay(self, host: str | Host, extra: float,
+                          start: float | None = None,
+                          duration: float = float("inf")) -> None:
+        """Add ``extra`` seconds to every message to/from ``host``.
+
+        This is the knob the Fig. 7 experiment turns: "We inject delays into
+        an instance to simulate network or storage delay."
+        """
+        name = host.name if isinstance(host, Host) else host
+        begin = self.sim.now if start is None else start
+        self._host_injections.setdefault(name, []).append(
+            _Injection(begin, begin + duration, extra))
+
+    def inject_pair_delay(self, region_a: str, region_b: str, extra: float,
+                          start: float | None = None,
+                          duration: float = float("inf")) -> None:
+        begin = self.sim.now if start is None else start
+        key = frozenset((region_a, region_b))
+        self._pair_injections.setdefault(key, []).append(
+            _Injection(begin, begin + duration, extra))
+
+    def partition(self, region_a: str, region_b: str,
+                  duration: float = float("inf")) -> None:
+        """Drop connectivity between two regions for ``duration`` seconds."""
+        key = frozenset((region_a, region_b))
+        self._partitions[key] = self.sim.now + duration
+
+    def heal_partition(self, region_a: str, region_b: str) -> None:
+        self._partitions.pop(frozenset((region_a, region_b)), None)
+
+    def is_partitioned(self, region_a: str, region_b: str) -> bool:
+        end = self._partitions.get(frozenset((region_a, region_b)))
+        return end is not None and self.sim.now < end
+
+    # -- latency queries ------------------------------------------------------
+    def injected_extra(self, src: Host, dst: Host) -> float:
+        now = self.sim.now
+        extra = 0.0
+        for name in (src.name, dst.name):
+            for inj in self._host_injections.get(name, ()):
+                extra += inj.active_extra(now)
+        for inj in self._pair_injections.get(
+                frozenset((src.region, dst.region)), ()):
+            extra += inj.active_extra(now)
+        return extra
+
+    def oneway_latency(self, src: Host, dst: Host,
+                       include_dynamics: bool = True) -> float:
+        """Current one-way message latency (excluding bandwidth queueing)."""
+        if src is dst:
+            # Same machine: loopback, no NIC or propagation cost.
+            return self.injected_extra(src, dst) if include_dynamics else 0.0
+        base = self.topology.oneway(src.region, src.provider,
+                                    dst.region, dst.provider)
+        base += src.vm.nic_delay + dst.vm.nic_delay
+        if include_dynamics:
+            base += self.injected_extra(src, dst)
+        return base
+
+    def rtt(self, src: Host, dst: Host) -> float:
+        return 2.0 * self.oneway_latency(src, dst)
+
+    def check_reachable(self, src: Host, dst: Host) -> None:
+        if dst.down:
+            raise HostDownError(f"host {dst.name} is down")
+        if src.down:
+            raise HostDownError(f"source host {src.name} is down")
+        if self.is_partitioned(src.region, dst.region):
+            raise NetworkError(
+                f"partition between {src.region} and {dst.region}")
+
+    # -- transfer -------------------------------------------------------------
+    def transmit(self, src: Host, dst: Host, nbytes: int) -> Generator:
+        """Move ``nbytes`` from src to dst; yields until delivery completes.
+
+        Raises :class:`NetworkError`/:class:`HostDownError` if the
+        destination is unreachable at send time.
+        """
+        self.check_reachable(src, dst)
+        start = self.sim.now
+        self.messages_sent += 1
+        self.bytes_transferred += nbytes
+        if src is not dst:
+            yield from src.egress.transmit(nbytes)
+            latency = self.oneway_latency(src, dst)
+            if latency > 0:
+                yield self.sim.timeout(latency)
+        # Destination may have died while the message was in flight.
+        if dst.down:
+            raise HostDownError(f"host {dst.name} went down mid-transfer")
+        if self.monitor is not None:
+            self.monitor.record_transfer(src, dst, nbytes, self.sim.now - start)

@@ -1,0 +1,46 @@
+"""The Tiera/Wiera policy notation: lexer, parser, AST, compiler.
+
+The paper's figures define instances and global policies in a concise
+event-response notation::
+
+    Tiera LowLatencyInstance(time t) {
+        tier1: {name: Memcached, size: 5G};
+        tier2: {name: EBS, size: 5G};
+        event(insert.into) : response {
+            insert.object.dirty = true;
+            store(what: insert.object, to: tier1);
+        }
+        event(time = t) : response {
+            copy(what: object.location == tier1 && object.dirty == true,
+                 to: tier2);
+        }
+    }
+
+This package parses that notation (and the Wiera global-policy variant
+with Region declarations, consistency events, and dynamic change_policy
+responses) into an AST and compiles it to the runtime policy objects —
+:class:`~repro.tiera.policy.LocalPolicy` and
+:class:`~repro.core.global_policy.GlobalPolicySpec`.  Every policy from
+the paper's figures ships as DSL text in
+:mod:`repro.policydsl.builtin_policies`.
+"""
+
+from repro.policydsl.lexer import Lexer, LexerError, Token
+from repro.policydsl.parser import ParseError, Parser, parse_policy
+from repro.policydsl.compiler import CompileError, compile_policy
+from repro.policydsl import ast_nodes as ast
+from repro.policydsl.builtin_policies import BUILTIN_POLICIES, builtin_policy
+
+__all__ = [
+    "Lexer",
+    "LexerError",
+    "Token",
+    "Parser",
+    "ParseError",
+    "parse_policy",
+    "compile_policy",
+    "CompileError",
+    "ast",
+    "BUILTIN_POLICIES",
+    "builtin_policy",
+]

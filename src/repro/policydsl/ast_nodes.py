@@ -1,0 +1,117 @@
+"""AST node definitions for the policy notation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Quantity:
+    """A number with a unit suffix: 5G, 800 ms, 40KB/s, 50%."""
+
+    number: float
+    unit: str   # "" | "G" | "ms" | "KB/s" | "%" | "hours" ...
+
+    def __str__(self) -> str:
+        n = int(self.number) if self.number == int(self.number) else self.number
+        return f"{n}{self.unit}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: object   # str | float | bool | Quantity
+
+
+@dataclass(frozen=True)
+class Path:
+    """Dotted reference: insert.into, object.dirty, threshold.latency."""
+
+    parts: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return ".".join(self.parts)
+
+    def matches(self, *parts: str) -> bool:
+        return self.parts == parts
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str            # == != > < >= <= && || =
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Literal, Path, BinOp]
+
+
+@dataclass(frozen=True)
+class Assign:
+    """insert.object.dirty = true;"""
+
+    target: Path
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Action:
+    """store(what: insert.object, to: tier1);"""
+
+    name: str
+    args: dict[str, Expr] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: tuple["Stmt", ...]
+    orelse: tuple["Stmt", ...] = ()   # may hold a nested If for elif chains
+
+
+Stmt = Union[Assign, Action, If]
+
+
+@dataclass(frozen=True)
+class EventRule:
+    event: Expr
+    body: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class TierDecl:
+    """tier1: {name: Memcached, size: 5G};"""
+
+    name: str
+    props: dict[str, Expr]
+
+
+@dataclass(frozen=True)
+class RegionDecl:
+    """Region1 = {name: LowLatencyInstance, region: US-West, primary: True,
+    tier1 = {...}};"""
+
+    name: str
+    props: dict[str, Expr]
+    tiers: dict[str, dict[str, Expr]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Param:
+    """A formal parameter: ``time t`` declares t of kind time."""
+
+    kind: str
+    name: str
+
+
+@dataclass(frozen=True)
+class PolicyDoc:
+    """A full Tiera or Wiera policy document."""
+
+    scope: str                      # "tiera" | "wiera"
+    name: str
+    params: tuple[Param, ...] = ()
+    tiers: tuple[TierDecl, ...] = ()
+    regions: tuple[RegionDecl, ...] = ()
+    options: dict[str, Expr] = field(default_factory=dict)
+    rules: tuple[EventRule, ...] = ()

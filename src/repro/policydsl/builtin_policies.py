@@ -1,0 +1,298 @@
+"""The paper's figure policies as DSL text.
+
+Each constant is the (lightly normalized) text of one figure from the
+paper; ``builtin_policy(name)`` parses + compiles it.  These are exercised
+by the test suite and the benchmark harness, so the DSL path — not
+hand-wired Python — is what actually runs the paper's policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+# -- Figure 1(a): LowLatency Tiera instance --------------------------------
+LOW_LATENCY_INSTANCE = """
+Tiera LowLatencyInstance(time t) {
+    % two tiers specified with initial sizes
+    tier1: {name: Memcached, size: 5G};
+    tier2: {name: EBS, size: 5G};
+    % action event defined to always store data into Memcached
+    event(insert.into) : response {
+        insert.object.dirty = true;
+        store(what: insert.object, to: tier1);
+    }
+    % write back policy: copying data to persistent store on a timer event
+    event(time = t) : response {
+        copy(what: object.location == tier1 && object.dirty == true,
+             to: tier2);
+    }
+}
+"""
+
+# -- Figure 1(b): Persistent Tiera instance --------------------------------
+PERSISTENT_INSTANCE = """
+Tiera PersistentInstance(time t) {
+    tier1: {name: Memcached, size: 5G};
+    tier2: {name: EBS, size: 5G};
+    tier3: {name: S3, size: 10G};
+    % write-through policy using action event and copy response
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+    event(insert.into == tier1) : response {
+        copy(what: insert.object, to: tier2);
+    }
+    % simple backup policy
+    event(tier2.filled == 50%) : response {
+        copy(what: object.location == tier2, to: tier3,
+             bandwidth: 40KB/s);
+    }
+}
+"""
+
+# -- auxiliary local instances used by the global policies ------------------
+MEMORY_INSTANCE = """
+Tiera MemoryInstance() {
+    tier1: {name: LocalMemory, size: 5G};
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"""
+
+DISK_INSTANCE = """
+Tiera DiskInstance() {
+    tier1: {name: LocalDisk, size: 30G};
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"""
+
+FORWARDING_INSTANCE = """
+Tiera ForwardingInstance() {
+    % a small local cache; puts are forwarded by the global policy
+    tier1: {name: LocalMemory, size: 1G};
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"""
+
+# -- Figure 3(a): Multiple Primaries consistency ----------------------------
+MULTI_PRIMARIES_CONSISTENCY = """
+Wiera MultiPrimariesConsistency() {
+    Region1 = {name: LowLatencyInstance, region: US-West,
+        tier1 = {name: LocalMemory, size: 5G},
+        tier2 = {name: LocalDisk, size: 5G}};
+    Region2 = {name: LowLatencyInstance, region: US-East,
+        tier1 = {name: LocalMemory, size: 5G},
+        tier2 = {name: LocalDisk, size: 5G}};
+    Region3 = {name: LowLatencyInstance, region: EU-West,
+        tier1 = {name: LocalMemory, size: 5G},
+        tier2 = {name: LocalDisk, size: 5G}};
+
+    % MultiPrimaries Consistency
+    event(insert.into) : response {
+        lock(what: insert.key);
+        store(what: insert.object, to: local_instance);
+        copy(what: insert.object, to: all_regions);
+        release(what: insert.key);
+    }
+}
+"""
+
+# -- Figure 3(b): Primary Backup consistency -------------------------------
+PRIMARY_BACKUP_CONSISTENCY = """
+Wiera PrimaryBackupConsistency() {
+    % Primary instance is running on Region1
+    Region1 = {name: LowLatencyInstance, region: US-West, primary: True};
+    Region2 = {name: LowLatencyInstance, region: US-East};
+    Region3 = {name: LowLatencyInstance, region: EU-West};
+
+    % PrimaryBackup Consistency
+    event(insert.into) : response {
+        if (local_instance.isPrimary == True) {
+            store(what: insert.object, to: local_instance);
+            copy(what: insert.object, to: all_regions);
+        } else
+            forward(what: insert.object, to: primary_instance);
+    }
+}
+"""
+
+# -- Figure 4: Eventual consistency -----------------------------------------
+EVENTUAL_CONSISTENCY = """
+Wiera EventualConsistency() {
+    Region1 = {name: LowLatencyInstance, region: US-West};
+    Region2 = {name: LowLatencyInstance, region: US-East};
+    Region3 = {name: LowLatencyInstance, region: EU-West};
+
+    % Eventual Consistency
+    event(insert.into) : response {
+        store(what: insert.object, to: local_instance);
+        queue(what: insert.object, to: all_regions);
+    }
+}
+"""
+
+# -- Figure 5(a): Dynamic consistency ---------------------------------------
+DYNAMIC_CONSISTENCY = """
+Wiera DynamicConsistency() {
+    Region1 = {name: LowLatencyInstance, region: US-West};
+    Region2 = {name: LowLatencyInstance, region: US-East};
+    Region3 = {name: LowLatencyInstance, region: EU-West};
+    Region4 = {name: LowLatencyInstance, region: Asia-East};
+
+    % start in Multiple-Primaries Consistency
+    event(insert.into) : response {
+        lock(what: insert.key);
+        store(what: insert.object, to: local_instance);
+        copy(what: insert.object, to: all_regions);
+        release(what: insert.key);
+    }
+
+    % Put operation spends more time than threshold
+    % required for specific amount of time
+    event(threshold.type == put) : response {
+        if (threshold.latency > 800 ms && threshold.period > 30 seconds)
+            change_policy(what: consistency, to: EventualConsistency);
+        else if (threshold.latency <= 800 ms
+                 && threshold.period > 30 seconds)
+            change_policy(what: consistency, to: MultiPrimariesConsistency);
+    }
+}
+"""
+
+# -- Figure 5(b): Changing the primary ---------------------------------------
+CHANGE_PRIMARY = """
+Wiera ChangePrimary() {
+    Region1 = {name: LowLatencyInstance, region: Asia-East, primary: True};
+    Region2 = {name: LowLatencyInstance, region: EU-West};
+    Region3 = {name: LowLatencyInstance, region: US-West};
+
+    queue_interval = 60 seconds;
+
+    % In Primary-Backup Consistency
+    event(insert.into) : response {
+        if (local_instance.isPrimary == True) {
+            store(what: insert.object, to: local_instance);
+            queue(what: insert.object, to: all_regions);
+        } else
+            forward(what: insert.object, to: primary_instance);
+    }
+
+    % If there is an instance which received more requests
+    % than primary received from application.
+    event(threshold.type == primary) : response {
+        if (forwarded_requests_per_each_instance >= updates_from_primary
+            && threshold.period == 15 seconds)
+            change_policy(what: primary_instance, to: instance_forward_most);
+    }
+}
+"""
+
+# -- Figure 6(a): Reducing cost with cheaper storage -------------------------
+REDUCED_COST_POLICY = """
+Wiera ReducedCostPolicy() {
+    Region1 = {name: PersistentInstance, region: US-West,
+        tier1 = {name: LocalDisk, size: 5G},
+        tier2 = {name: CheapestArchival, size: 5G}};
+
+    % Data is getting cold
+    event(object.lastAccessedTime > 120 hours) : response {
+        move(what: object.location == tier1, to: tier2,
+             bandwidth: 100KB/s);
+    }
+}
+"""
+
+# A variant used by §5.3: demote cold EBS data to S3-IA.
+COLD_TO_S3IA_POLICY = """
+Wiera ColdToInfrequentAccess() {
+    Region1 = {name: SsdWithIaInstance, region: US-East};
+
+    event(object.lastAccessedTime > 120 hours) : response {
+        move(what: object.location == tier1, to: tier2);
+    }
+}
+"""
+
+SSD_WITH_IA_INSTANCE = """
+Tiera SsdWithIaInstance() {
+    tier1: {name: EBS, size: 20T};
+    tier2: {name: S3-IA, size: 20T};
+    event(insert.into) : response {
+        store(what: insert.object, to: tier1);
+    }
+}
+"""
+
+# -- Figure 6(b): Simpler consistency via a fast centralized tier -------------
+SIMPLER_CONSISTENCY = """
+Wiera SimplerConsistency() {
+    Region1 = {name: LowLatencyInstance, region: US-West-1, primary: True,
+        tier1 = {name: LocalMemory, size: 30G},
+        tier2 = {name: LocalDisk, size: 30G}};
+    Region2 = {name: ForwardingInstance, region: US-West-2};
+    Region3 = {name: ForwardingInstance, region: US-West-3};
+
+    % PrimaryBackup Consistency
+    event(insert.into) : response {
+        if (local_instance.isPrimary == True) {
+            store(what: insert.object, to: local_instance);
+            copy(what: insert.object, to: all_regions);
+        } else
+            forward(what: insert.object, to: primary_instance);
+    }
+}
+"""
+
+#: name -> (scope, DSL text, default params)
+BUILTIN_POLICIES: dict[str, tuple[str, str, dict]] = {
+    "LowLatencyInstance": ("tiera", LOW_LATENCY_INSTANCE, {"t": 5.0}),
+    "PersistentInstance": ("tiera", PERSISTENT_INSTANCE, {"t": 5.0}),
+    "MemoryInstance": ("tiera", MEMORY_INSTANCE, {}),
+    "DiskInstance": ("tiera", DISK_INSTANCE, {}),
+    "ForwardingInstance": ("tiera", FORWARDING_INSTANCE, {}),
+    "SsdWithIaInstance": ("tiera", SSD_WITH_IA_INSTANCE, {}),
+    "MultiPrimariesConsistency": ("wiera", MULTI_PRIMARIES_CONSISTENCY, {}),
+    "PrimaryBackupConsistency": ("wiera", PRIMARY_BACKUP_CONSISTENCY, {}),
+    "EventualConsistency": ("wiera", EVENTUAL_CONSISTENCY, {}),
+    "DynamicConsistency": ("wiera", DYNAMIC_CONSISTENCY, {}),
+    "ChangePrimary": ("wiera", CHANGE_PRIMARY, {}),
+    "ReducedCostPolicy": ("wiera", REDUCED_COST_POLICY, {}),
+    "ColdToInfrequentAccess": ("wiera", COLD_TO_S3IA_POLICY, {}),
+    "SimplerConsistency": ("wiera", SIMPLER_CONSISTENCY, {}),
+}
+
+
+def local_policy_env(params: Optional[dict] = None) -> dict:
+    """Compile every built-in *Tiera* policy into a name -> LocalPolicy map
+    (the default environment for Wiera region declarations)."""
+    from repro.policydsl.compiler import compile_policy
+    env = {}
+    for name, (scope, text, defaults) in BUILTIN_POLICIES.items():
+        if scope != "tiera":
+            continue
+        merged = dict(defaults)
+        merged.update(params or {})
+        env[name] = compile_policy(text, params=merged)
+    # The figure text of Fig. 6(a) spells it "PersistanceInstance".
+    env["PersistanceInstance"] = env["PersistentInstance"]
+    return env
+
+
+def builtin_policy(name: str, params: Optional[dict] = None):
+    """Parse + compile a built-in policy by figure name."""
+    from repro.policydsl.compiler import compile_policy
+    try:
+        scope, text, defaults = BUILTIN_POLICIES[name]
+    except KeyError:
+        raise KeyError(f"no built-in policy {name!r}; "
+                       f"known: {sorted(BUILTIN_POLICIES)}") from None
+    merged = dict(defaults)
+    merged.update(params or {})
+    if scope == "tiera":
+        return compile_policy(text, params=merged)
+    return compile_policy(text, params=merged, env=local_policy_env(merged))

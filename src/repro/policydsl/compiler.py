@@ -1,0 +1,553 @@
+"""Compile policy ASTs to runtime policy objects.
+
+``Tiera`` documents compile to :class:`~repro.tiera.policy.LocalPolicy`;
+``Wiera`` documents compile to
+:class:`~repro.core.global_policy.GlobalPolicySpec`, with the consistency
+protocol *inferred from the event-response rules themselves* — a rule that
+takes a global lock and synchronously copies to all regions is
+MultiPrimaries; an isPrimary branch with forward is PrimaryBackup; a local
+store plus queue is Eventual — mirroring how the paper's figures express
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, Optional
+
+from repro.core.global_policy import (
+    ChangePrimarySpec,
+    DynamicConsistencySpec,
+    GlobalPolicySpec,
+    RegionPlacement,
+)
+from repro.policydsl import ast_nodes as ast
+from repro.policydsl.parser import parse_policy
+from repro.storage.profiles import get_tier_profile
+from repro.tiera.events import (
+    ColdDataEvent,
+    FilledEvent,
+    InsertEvent,
+    OperationEvent,
+    TimerEvent,
+)
+from repro.tiera.policy import LocalPolicy, Rule, TierSpec
+from repro.tiera.responses import (
+    INSERT_OBJECT,
+    CompressResponse,
+    CopyResponse,
+    DeleteResponse,
+    EncryptResponse,
+    GrowResponse,
+    MoveResponse,
+    ObjectSelector,
+    SetAttrResponse,
+    StoreResponse,
+)
+from repro.util.units import parse_bandwidth, parse_duration, parse_size
+
+
+class CompileError(ValueError):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# value coercion
+# ---------------------------------------------------------------------------
+
+def _as_name(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Path):
+        return str(expr)
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, str):
+        return expr.value
+    raise CompileError(f"expected a name, got {expr!r}")
+
+
+def _as_bool(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, ast.Path):
+        return str(expr).lower() == "true"
+    raise CompileError(f"expected a boolean, got {expr!r}")
+
+
+def _quantity_text(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        v = expr.value
+        if isinstance(v, ast.Quantity):
+            return f"{v.number}{v.unit}"
+        if isinstance(v, (int, float)):
+            return str(v)
+        if isinstance(v, str):
+            return v
+    raise CompileError(f"expected a quantity, got {expr!r}")
+
+
+def _as_size(expr: ast.Expr) -> int:
+    return parse_size(_quantity_text(expr))
+
+
+def _as_duration(expr: ast.Expr) -> float:
+    return parse_duration(_quantity_text(expr))
+
+
+def _as_bandwidth(expr: ast.Expr) -> float:
+    return parse_bandwidth(_quantity_text(expr))
+
+
+def _as_fraction(expr: ast.Expr) -> float:
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, ast.Quantity):
+        if expr.value.unit == "%":
+            return expr.value.number / 100.0
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, float):
+        return expr.value
+    raise CompileError(f"expected a percentage, got {expr!r}")
+
+
+def normalize_region(name: str) -> str:
+    return name.strip().lower()
+
+
+_POLICY_NAME_MAP = {
+    "eventualconsistency": "eventual",
+    "eventual": "eventual",
+    "multiprimariesconsistency": "multi_primaries",
+    "multipleprimariesconsistency": "multi_primaries",
+    "multiprimaries": "multi_primaries",
+    "strong": "multi_primaries",
+    "primarybackupconsistency": "primary_backup",
+    "primarybackup": "primary_backup",
+    "local": "local",
+}
+
+
+def _consistency_name(name: str) -> str:
+    key = name.lower().replace("_", "").replace("-", "")
+    try:
+        return _POLICY_NAME_MAP[key]
+    except KeyError:
+        raise CompileError(f"unknown consistency policy name {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# shared expression helpers
+# ---------------------------------------------------------------------------
+
+def _flatten_and(expr: ast.Expr) -> list[ast.Expr]:
+    if isinstance(expr, ast.BinOp) and expr.op == "&&":
+        return _flatten_and(expr.left) + _flatten_and(expr.right)
+    return [expr]
+
+
+def _flatten_stmts(stmts: Iterable[ast.Stmt]) -> list[ast.Stmt]:
+    out: list[ast.Stmt] = []
+    for stmt in stmts:
+        out.append(stmt)
+        if isinstance(stmt, ast.If):
+            out.extend(_flatten_stmts(stmt.then))
+            out.extend(_flatten_stmts(stmt.orelse))
+    return out
+
+
+def _actions(stmts: Iterable[ast.Stmt]) -> list[ast.Action]:
+    return [s for s in _flatten_stmts(stmts) if isinstance(s, ast.Action)]
+
+
+def _compile_selector(expr: ast.Expr,
+                      min_idle: Optional[float] = None) -> ObjectSelector:
+    """object.location == tier1 && object.dirty == true -> ObjectSelector."""
+    location: Optional[str] = None
+    dirty: Optional[bool] = None
+    tags: set[str] = set()
+    prefix: Optional[str] = None
+    for clause in _flatten_and(expr):
+        if not isinstance(clause, ast.BinOp):
+            raise CompileError(f"cannot compile selector clause {clause!r}")
+        left, right = clause.left, clause.right
+        if not isinstance(left, ast.Path):
+            raise CompileError(f"selector clause must start with a path: "
+                               f"{clause!r}")
+        field = left.parts[-1].lower()
+        if field == "location":
+            location = _as_name(right)
+        elif field == "dirty":
+            dirty = _as_bool(right)
+        elif field == "tag" or field == "tags":
+            tags.add(_as_name(right))
+        elif field in ("lastaccessedtime", "idle"):
+            min_idle = _as_duration(right)
+        elif field in ("key", "prefix"):
+            prefix = _as_name(right)
+        else:
+            raise CompileError(f"unknown selector attribute {field!r}")
+    return ObjectSelector(location=location, dirty=dirty,
+                          tags=frozenset(tags), min_idle=min_idle,
+                          key_prefix=prefix)
+
+
+def _what_argument(args: dict[str, ast.Expr],
+                   cold_age: Optional[float] = None):
+    what = args.get("what")
+    if what is None or (isinstance(what, ast.Path)
+                        and str(what) in ("insert.object", "insert.oject",
+                                          "get.object", "accessed.object")):
+        # (the figure text itself contains the 'insert.oject' typo)
+        return INSERT_OBJECT
+    if isinstance(what, ast.Path) and str(what) == "insert.key":
+        return INSERT_OBJECT
+    return _compile_selector(what, min_idle=cold_age)
+
+
+# ---------------------------------------------------------------------------
+# Tiera (local) compilation
+# ---------------------------------------------------------------------------
+
+_LOCAL_ACTIONS = ("store", "copy", "move", "delete", "remove", "compress",
+                  "encrypt", "grow")
+
+
+def _compile_local_response(action: ast.Action,
+                            cold_age: Optional[float] = None):
+    name = action.name.lower()
+    args = action.args
+    what = _what_argument(args, cold_age)
+    to = _as_name(args["to"]) if "to" in args else None
+    bandwidth = _as_bandwidth(args["bandwidth"]) if "bandwidth" in args else None
+    if name == "store":
+        if to is None:
+            raise CompileError("store requires a 'to' tier")
+        return StoreResponse(to=to)
+    if name == "copy":
+        if to is None:
+            raise CompileError("copy requires a 'to' tier")
+        clear = ("dirty" in str(args.get("what", "")).lower()
+                 or (isinstance(what, ObjectSelector) and what.dirty is True))
+        return CopyResponse(what=what, to=to, bandwidth=bandwidth,
+                            clear_dirty=bool(clear))
+    if name == "move":
+        if to is None:
+            raise CompileError("move requires a 'to' tier")
+        from_tier = (what.location
+                     if isinstance(what, ObjectSelector) else None)
+        return MoveResponse(what=what, to=to, from_tier=from_tier,
+                            bandwidth=bandwidth)
+    if name in ("delete", "remove"):
+        return DeleteResponse(what=what)
+    if name == "compress":
+        level = 6
+        if "level" in args:
+            level = int(_as_duration(args["level"]))
+        return CompressResponse(what=what, level=level)
+    if name == "encrypt":
+        key_id = _as_name(args["key"]) if "key" in args else "default"
+        return EncryptResponse(what=what, key_id=key_id)
+    if name == "grow":
+        tier = _as_name(args["tier"]) if "tier" in args else (to or "tier1")
+        return GrowResponse(tier=tier, amount=_as_size(args["by"]))
+    raise CompileError(f"unknown local response {action.name!r}")
+
+
+def _compile_local_event(expr: ast.Expr, params: dict):
+    """Map an event expression to a Tiera event descriptor."""
+    if isinstance(expr, ast.Path):
+        if expr.matches("insert", "into"):
+            return InsertEvent(tier=None)
+        if expr.matches("get", "from"):
+            return OperationEvent(op="get", tier=None)
+        raise CompileError(f"unknown event {expr!r}")
+    if not isinstance(expr, ast.BinOp):
+        raise CompileError(f"cannot compile event expression {expr!r}")
+    left, op, right = expr.left, expr.op, expr.right
+    if isinstance(left, ast.Path):
+        if left.matches("insert", "into") and op == "==":
+            return InsertEvent(tier=_as_name(right))
+        if left.matches("get", "from") and op == "==":
+            return OperationEvent(op="get", tier=_as_name(right))
+        if left.matches("time"):
+            if isinstance(right, ast.Path):
+                pname = str(right)
+                if pname not in params:
+                    raise CompileError(
+                        f"timer parameter {pname!r} not supplied "
+                        f"(have {sorted(params)})")
+                return TimerEvent(period=float(params[pname]))
+            return TimerEvent(period=_as_duration(right))
+        if len(left.parts) == 2 and left.parts[1].lower() == "filled":
+            return FilledEvent(tier=left.parts[0],
+                               fraction=_as_fraction(right))
+        if (left.parts[-1].lower() in ("lastaccessedtime", "idle")
+                and op in (">", ">=")):
+            age = _as_duration(right)
+            interval = params.get("cold_check_interval", 600.0)
+            return ColdDataEvent(age=age, check_interval=float(interval))
+    raise CompileError(f"cannot compile event expression {expr!r}")
+
+
+def _compile_tiera(doc: ast.PolicyDoc,
+                   params: Optional[dict] = None) -> LocalPolicy:
+    params = dict(params or {})
+    tiers = []
+    for decl in doc.tiers:
+        profile = _as_name(decl.props["name"])
+        get_tier_profile(profile)  # fail fast on unknown tiers
+        capacity = (_as_size(decl.props["size"])
+                    if "size" in decl.props else None)
+        tiers.append(TierSpec(name=decl.name, profile=profile,
+                              capacity=capacity))
+    rules = []
+    keep_versions = None
+    for key, value in doc.options.items():
+        if key.lower() == "keep_versions":
+            keep_versions = int(_as_duration(value))
+        elif key.lower() == "cold_check_interval":
+            params["cold_check_interval"] = _as_duration(value)
+        else:
+            params[key] = value
+    for rule in doc.rules:
+        event = _compile_local_event(rule.event, params)
+        cold_age = event.age if isinstance(event, ColdDataEvent) else None
+        responses = []
+        for stmt in rule.body:
+            if isinstance(stmt, ast.Assign):
+                if stmt.target.parts[-1].lower() == "dirty":
+                    responses.append(SetAttrResponse(
+                        "dirty", _as_bool(stmt.value)))
+                else:
+                    raise CompileError(
+                        f"cannot assign {stmt.target} in a local policy")
+            elif isinstance(stmt, ast.Action):
+                responses.append(_compile_local_response(stmt, cold_age))
+            else:
+                raise CompileError(
+                    "if-statements are not supported in local policies")
+        rules.append(Rule(event=event, responses=tuple(responses)))
+    return LocalPolicy(name=doc.name, tiers=tuple(tiers), rules=tuple(rules),
+                       keep_versions=keep_versions)
+
+
+# ---------------------------------------------------------------------------
+# Wiera (global) compilation
+# ---------------------------------------------------------------------------
+
+def _threshold_values(cond: ast.Expr) -> dict[str, float]:
+    """Pull threshold.latency / threshold.period bounds out of an if cond."""
+    out: dict[str, float] = {}
+    for clause in _flatten_and(cond):
+        if isinstance(clause, ast.BinOp) and isinstance(clause.left, ast.Path):
+            field = clause.left.parts[-1].lower()
+            if field in ("latency", "period"):
+                out[field] = _as_duration(clause.right)
+    return out
+
+
+def _infer_consistency(rule: ast.EventRule) -> tuple[str, bool]:
+    """Classify an insert.into rule: (consistency, sync_replication)."""
+    actions = {a.name.lower() for a in _actions(rule.body)}
+    has_primary_branch = any(
+        isinstance(s, ast.If) and any(
+            isinstance(c, ast.BinOp) and isinstance(c.left, ast.Path)
+            and c.left.parts[-1].lower() == "isprimary"
+            for c in _flatten_and(s.cond))
+        for s in rule.body)
+    if "lock" in actions:
+        return "multi_primaries", True
+    if has_primary_branch or "forward" in actions:
+        return "primary_backup", "queue" not in actions
+    if "queue" in actions:
+        return "eventual", False
+    if "store" in actions:
+        return "local", True
+    raise CompileError("cannot infer a consistency model from the "
+                       "insert.into rule")
+
+
+def _compile_dynamic(rule: ast.EventRule) -> DynamicConsistencySpec:
+    """event(threshold.type == put) -> DynamicConsistencySpec."""
+    weak = strong = None
+    latency = 0.8
+    period = 30.0
+
+    def walk(stmts):
+        nonlocal weak, strong, latency, period
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                vals = _threshold_values(stmt.cond)
+                exceeds = any(
+                    isinstance(c, ast.BinOp) and c.op in (">", ">=")
+                    and isinstance(c.left, ast.Path)
+                    and c.left.parts[-1].lower() == "latency"
+                    for c in _flatten_and(stmt.cond))
+                for inner in stmt.then:
+                    if (isinstance(inner, ast.Action)
+                            and inner.name.lower()
+                            in ("change_policy", "chage_policy")):
+                        target = _consistency_name(_as_name(inner.args["to"]))
+                        if exceeds:
+                            weak = weak or target
+                            latency = vals.get("latency", latency)
+                            period = vals.get("period", period)
+                        else:
+                            strong = strong or target
+                walk(stmt.orelse)
+
+    walk(rule.body)
+    if weak is None:
+        raise CompileError("dynamic-consistency rule has no weak target")
+    return DynamicConsistencySpec(latency_threshold=latency, period=period,
+                                  weak=weak,
+                                  strong=strong or "multi_primaries")
+
+
+def _compile_change_primary(rule: ast.EventRule) -> ChangePrimarySpec:
+    period = 15.0
+    window = 30.0
+    for stmt in rule.body:
+        if isinstance(stmt, ast.If):
+            vals = _threshold_values(stmt.cond)
+            period = vals.get("period", period)
+    return ChangePrimarySpec(window=window, period=min(period, 600.0),
+                             check_interval=5.0)
+
+
+def _event_is(rule: ast.EventRule, path_parts: tuple[str, ...],
+              value: Optional[str] = None) -> bool:
+    ev = rule.event
+    if isinstance(ev, ast.BinOp) and isinstance(ev.left, ast.Path):
+        if ev.left.parts == path_parts:
+            if value is None:
+                return True
+            try:
+                return _as_name(ev.right).lower() == value
+            except CompileError:
+                return False
+    if isinstance(ev, ast.Path) and ev.parts == path_parts:
+        return value is None
+    return False
+
+
+def _compile_wiera(doc: ast.PolicyDoc, params: Optional[dict],
+                   env: Optional[dict]) -> GlobalPolicySpec:
+    params = dict(params or {})
+    env = dict(env or {})
+    if not doc.regions:
+        raise CompileError(
+            f"Wiera policy {doc.name!r} declares no region placements")
+    # Options.
+    queue_interval = 1.0
+    get_from = None
+    for key, value in doc.options.items():
+        low = key.lower()
+        if low == "queue_interval":
+            queue_interval = _as_duration(value)
+        elif low == "get_from":
+            get_from = _as_name(value)
+    # Placements.
+    placements = []
+    for decl in doc.regions:
+        local_name = _as_name(decl.props["name"])
+        local = env.get(local_name)
+        if local is None:
+            raise CompileError(
+                f"region {decl.name!r} references unknown local policy "
+                f"{local_name!r}; pass it via env=")
+        if decl.tiers:
+            # Per-region tier overrides (Figure 3(a)).
+            overrides = {}
+            for tname, props in decl.tiers.items():
+                profile = (_as_name(props["name"]) if "name" in props
+                           else None)
+                size = _as_size(props["size"]) if "size" in props else None
+                overrides[tname] = (profile, size)
+            new_tiers = []
+            for spec in local.tiers:
+                if spec.name in overrides:
+                    profile, size = overrides.pop(spec.name)
+                    new_tiers.append(replace(
+                        spec,
+                        profile=profile if profile is not None else spec.profile,
+                        capacity=size if size is not None else spec.capacity))
+                else:
+                    new_tiers.append(spec)
+            for tname, (profile, size) in overrides.items():
+                if profile is None:
+                    raise CompileError(
+                        f"new tier {tname!r} needs a 'name' (profile)")
+                new_tiers.append(TierSpec(name=tname, profile=profile,
+                                          capacity=size))
+            local = replace(local, tiers=tuple(new_tiers))
+        region = normalize_region(_as_name(decl.props["region"]))
+        primary = ("primary" in decl.props
+                   and _as_bool(decl.props["primary"]))
+        placements.append(RegionPlacement(region=region, local_policy=local,
+                                          provider=_as_name(
+                                              decl.props["provider"])
+                                          if "provider" in decl.props
+                                          else "aws",
+                                          primary=primary))
+    # Rules.
+    consistency = "eventual"
+    sync_replication = True
+    dynamic = None
+    change_primary = None
+    cold = None
+    inferred = False
+    extra_local_rules: list[Rule] = []
+    for rule in doc.rules:
+        if _event_is(rule, ("insert", "into")):
+            consistency, sync_replication = _infer_consistency(rule)
+            inferred = True
+        elif _event_is(rule, ("threshold", "type"), "put"):
+            dynamic = _compile_dynamic(rule)
+        elif _event_is(rule, ("threshold", "type"), "primary"):
+            change_primary = _compile_change_primary(rule)
+        elif (isinstance(rule.event, ast.BinOp)
+              and isinstance(rule.event.left, ast.Path)
+              and rule.event.left.parts[-1].lower() == "lastaccessedtime"):
+            # Wiera-scope cold-data rule: attach to every placement.
+            event = _compile_local_event(rule.event, params)
+            responses = tuple(
+                _compile_local_response(a, event.age)
+                for a in rule.body if isinstance(a, ast.Action))
+            extra_local_rules.append(Rule(event=event, responses=responses))
+        else:
+            raise CompileError(
+                f"cannot compile global event {rule.event!r}")
+    if not inferred and len(placements) == 1:
+        consistency = "local"  # a single replica needs no replication
+    if extra_local_rules:
+        placements = [
+            replace(p, local_policy=replace(
+                p.local_policy,
+                rules=p.local_policy.rules + tuple(extra_local_rules)))
+            for p in placements]
+    if consistency == "primary_backup" and not any(
+            p.primary for p in placements):
+        placements[0] = replace(placements[0], primary=True)
+    return GlobalPolicySpec(
+        name=doc.name, placements=tuple(placements),
+        consistency=consistency, sync_replication=sync_replication,
+        queue_interval=queue_interval, get_from=get_from,
+        dynamic=dynamic, change_primary=change_primary, cold=cold)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def compile_policy(source: str | ast.PolicyDoc,
+                   params: Optional[dict] = None,
+                   env: Optional[dict] = None):
+    """Compile DSL text (or a parsed doc) to a runtime policy object.
+
+    ``params`` supplies values for the document's formal parameters (e.g.
+    the flush period ``t`` of LowLatencyInstance).  ``env`` maps local
+    policy names to :class:`LocalPolicy` objects for Wiera region
+    declarations; when omitted, the built-in policy library is used.
+    """
+    doc = parse_policy(source) if isinstance(source, str) else source
+    if doc.scope == "tiera":
+        return _compile_tiera(doc, params)
+    if env is None:
+        from repro.policydsl.builtin_policies import local_policy_env
+        env = local_policy_env(params)
+    return _compile_wiera(doc, params, env)

@@ -1,0 +1,121 @@
+"""Tokenizer for the policy notation.
+
+Token kinds:
+
+* ``IDENT`` — identifiers; may contain ``-`` (``US-West``) and ``_``.
+* ``NUMBER`` — bare numbers (``800``, ``0.5``).
+* ``QUANTITY`` — a number immediately followed by letters/percent/slash,
+  e.g. ``5G``, ``40KB/s``, ``50%`` (no intervening space).
+* ``STRING`` — single/double-quoted.
+* ``PUNCT`` — one of ``{ } ( ) : ; , .`` and the operators
+  ``== != >= <= > < = && ||``.
+
+Comments run from ``%`` to end of line, matching the figures — except a
+``%`` glued directly to a number, which is the percent suffix.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+
+class LexerError(ValueError):
+    def __init__(self, msg: str, line: int, col: int):
+        super().__init__(f"{msg} at line {line}, column {col}")
+        self.line = line
+        self.col = col
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # IDENT | NUMBER | QUANTITY | STRING | PUNCT | EOF
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.line}:{self.col})"
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_-]*")
+_NUMBER_RE = re.compile(r"[0-9]+(?:\.[0-9]+)?")
+_QSUFFIX_RE = re.compile(r"(?:%|[A-Za-z]+(?:/[A-Za-z]+)?)")
+_TWO_CHAR_OPS = ("==", "!=", ">=", "<=", "&&", "||")
+_ONE_CHAR = set("{}():;,.=<>")
+
+
+class Lexer:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def _advance(self, n: int) -> None:
+        chunk = self.text[self.pos:self.pos + n]
+        newlines = chunk.count("\n")
+        if newlines:
+            self.line += newlines
+            self.col = n - chunk.rfind("\n")
+        else:
+            self.col += n
+        self.pos += n
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in " \t\r\n":
+                self._advance(1)
+                continue
+            if ch == "%":
+                # comment to end of line (a percent-suffix % is consumed
+                # as part of a QUANTITY token, never seen here)
+                end = text.find("\n", self.pos)
+                self._advance((end - self.pos) if end != -1
+                              else len(text) - self.pos)
+                continue
+            if ch in "\"'":
+                end = text.find(ch, self.pos + 1)
+                if end == -1:
+                    raise LexerError("unterminated string", self.line, self.col)
+                out.append(Token("STRING", text[self.pos + 1:end],
+                                 self.line, self.col))
+                self._advance(end + 1 - self.pos)
+                continue
+            m = _NUMBER_RE.match(text, self.pos)
+            if m:
+                number = m.group(0)
+                line, col = self.line, self.col
+                self._advance(len(number))
+                sm = _QSUFFIX_RE.match(text, self.pos)
+                if sm:
+                    suffix = sm.group(0)
+                    self._advance(len(suffix))
+                    out.append(Token("QUANTITY", number + suffix, line, col))
+                else:
+                    out.append(Token("NUMBER", number, line, col))
+                continue
+            m = _IDENT_RE.match(text, self.pos)
+            if m:
+                out.append(Token("IDENT", m.group(0), self.line, self.col))
+                self._advance(len(m.group(0)))
+                continue
+            two = text[self.pos:self.pos + 2]
+            if two in _TWO_CHAR_OPS:
+                out.append(Token("PUNCT", two, self.line, self.col))
+                self._advance(2)
+                continue
+            if ch in _ONE_CHAR or ch == "/":
+                out.append(Token("PUNCT", ch, self.line, self.col))
+                self._advance(1)
+                continue
+            raise LexerError(f"unexpected character {ch!r}", self.line, self.col)
+        out.append(Token("EOF", "", self.line, self.col))
+        return out
+
+
+def tokenize(text: str) -> list[Token]:
+    return Lexer(text).tokens()

@@ -1,0 +1,318 @@
+"""Recursive-descent parser for the policy notation.
+
+Grammar (see the package docstring for an example)::
+
+    policy      := ("Tiera" | "Wiera") IDENT "(" params? ")" "{" item* "}"
+    params      := IDENT IDENT ("," IDENT IDENT)*
+    item        := tier_decl | region_decl | option_decl | event_rule
+    tier_decl   := IDENT ":" braced_props ";"?
+    region_decl := IDENT "=" braced_props ";"?
+    option_decl := IDENT "=" value ";"
+    event_rule  := "event" "(" expr ")" ":" "response" "{" stmt* "}"
+    stmt        := if_stmt | assign ";" | action ";"
+    assign      := path "=" expr
+    action      := IDENT "(" (IDENT ":" expr ("," IDENT ":" expr)*)? ")"
+    if_stmt     := "if" "(" expr ")" body ("else" (if_stmt | body))?
+    body        := "{" stmt* "}" | stmt
+    expr        := and_expr ("||" and_expr)*
+    and_expr    := cmp ("&&" cmp)*
+    cmp         := operand (CMPOP operand)?
+    operand     := path | literal
+    literal     := NUMBER [unit-IDENT] | QUANTITY | STRING | true | false
+
+Inside braced property maps, ``:`` and ``=`` both separate key from
+value, and nested braces declare per-region tier overrides (as in
+Figure 3(a)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.policydsl import ast_nodes as ast
+from repro.policydsl.lexer import Token, tokenize
+
+_CMP_OPS = ("==", "!=", ">=", "<=", ">", "<", "=")
+_UNIT_WORDS = {
+    "ms", "msec", "milliseconds", "millisecond",
+    "s", "sec", "secs", "second", "seconds",
+    "min", "mins", "minute", "minutes",
+    "h", "hr", "hrs", "hour", "hours",
+    "d", "day", "days",
+    "b", "kb", "mb", "gb", "tb", "k", "m", "g", "t",
+}
+
+
+class ParseError(ValueError):
+    def __init__(self, msg: str, token: Token):
+        super().__init__(f"{msg} (got {token.kind} {token.value!r} "
+                         f"at line {token.line}, column {token.col})")
+        self.token = token
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self.cur
+        self.pos += 1
+        return token
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.cur
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            want = value if value is not None else kind
+            raise ParseError(f"expected {want!r}", self.cur)
+        return token
+
+    def _accept_ident(self, *words: str) -> Optional[Token]:
+        token = self.cur
+        if token.kind == "IDENT" and token.value.lower() in words:
+            return self._next()
+        return None
+
+    # -- entry point ----------------------------------------------------------
+    def parse(self) -> ast.PolicyDoc:
+        scope_tok = self._expect("IDENT")
+        scope = scope_tok.value.lower()
+        if scope not in ("tiera", "wiera"):
+            raise ParseError("policy must start with 'Tiera' or 'Wiera'",
+                             scope_tok)
+        name = self._expect("IDENT").value
+        params = self._parse_params()
+        self._expect("PUNCT", "{")
+        tiers: list[ast.TierDecl] = []
+        regions: list[ast.RegionDecl] = []
+        options: dict[str, ast.Expr] = {}
+        rules: list[ast.EventRule] = []
+        while not self._accept("PUNCT", "}"):
+            if self.cur.kind == "EOF":
+                raise ParseError("unexpected end of policy", self.cur)
+            if self.cur.kind == "IDENT" and self.cur.value.lower() == "event":
+                rules.append(self._parse_event_rule())
+                continue
+            name_tok = self._expect("IDENT")
+            if self._accept("PUNCT", ":"):
+                props = self._parse_props()
+                self._accept("PUNCT", ";")
+                tiers.append(ast.TierDecl(name_tok.value, props))
+            elif self._accept("PUNCT", "="):
+                if self.cur.kind == "PUNCT" and self.cur.value == "{":
+                    props, nested = self._parse_props_with_nested()
+                    self._accept("PUNCT", ";")
+                    regions.append(ast.RegionDecl(name_tok.value, props,
+                                                  nested))
+                else:
+                    options[name_tok.value] = self._parse_expr()
+                    self._expect("PUNCT", ";")
+            else:
+                raise ParseError("expected ':' or '=' after identifier",
+                                 self.cur)
+        return ast.PolicyDoc(scope=scope, name=name, params=tuple(params),
+                             tiers=tuple(tiers), regions=tuple(regions),
+                             options=options, rules=tuple(rules))
+
+    def _parse_params(self) -> list[ast.Param]:
+        self._expect("PUNCT", "(")
+        params: list[ast.Param] = []
+        if not self._accept("PUNCT", ")"):
+            while True:
+                kind = self._expect("IDENT").value
+                name = self._expect("IDENT").value
+                params.append(ast.Param(kind=kind, name=name))
+                if not self._accept("PUNCT", ","):
+                    break
+            self._expect("PUNCT", ")")
+        return params
+
+    # -- property maps ------------------------------------------------------
+    def _parse_props(self) -> dict[str, ast.Expr]:
+        props, nested = self._parse_props_with_nested()
+        if nested:
+            raise ParseError("nested tier declarations are only allowed in "
+                             "region declarations", self.cur)
+        return props
+
+    def _parse_props_with_nested(self):
+        self._expect("PUNCT", "{")
+        props: dict[str, ast.Expr] = {}
+        nested: dict[str, dict[str, ast.Expr]] = {}
+        while not self._accept("PUNCT", "}"):
+            key = self._expect("IDENT").value
+            if not (self._accept("PUNCT", ":") or self._accept("PUNCT", "=")):
+                raise ParseError("expected ':' or '=' in property map",
+                                 self.cur)
+            if self.cur.kind == "PUNCT" and self.cur.value == "{":
+                sub, sub_nested = self._parse_props_with_nested()
+                if sub_nested:
+                    raise ParseError("tier overrides cannot nest further",
+                                     self.cur)
+                nested[key] = sub
+            else:
+                props[key] = self._parse_expr()
+            self._accept("PUNCT", ",")
+        return props, nested
+
+    # -- rules & statements -----------------------------------------------------
+    def _parse_event_rule(self) -> ast.EventRule:
+        self._expect("IDENT")  # 'event'
+        self._expect("PUNCT", "(")
+        event = self._parse_expr()
+        self._expect("PUNCT", ")")
+        self._expect("PUNCT", ":")
+        kw = self._expect("IDENT")
+        if kw.value.lower() != "response":
+            raise ParseError("expected 'response'", kw)
+        body = self._parse_block()
+        return ast.EventRule(event=event, body=tuple(body))
+
+    def _parse_block(self) -> list[ast.Stmt]:
+        self._expect("PUNCT", "{")
+        stmts: list[ast.Stmt] = []
+        while not self._accept("PUNCT", "}"):
+            if self.cur.kind == "EOF":
+                raise ParseError("unterminated block", self.cur)
+            stmts.append(self._parse_stmt())
+        return stmts
+
+    def _parse_body(self) -> list[ast.Stmt]:
+        if self.cur.kind == "PUNCT" and self.cur.value == "{":
+            return self._parse_block()
+        return [self._parse_stmt()]
+
+    def _parse_stmt(self) -> ast.Stmt:
+        if self.cur.kind == "IDENT" and self.cur.value.lower() == "if":
+            return self._parse_if()
+        # assignment starts with a path followed by '=' (but not '==')
+        if (self.cur.kind == "IDENT"
+                and self._looks_like_assignment()):
+            target = self._parse_path()
+            self._expect("PUNCT", "=")
+            value = self._parse_expr()
+            self._accept("PUNCT", ";")
+            return ast.Assign(target=target, value=value)
+        name = self._expect("IDENT").value
+        self._expect("PUNCT", "(")
+        args: dict[str, ast.Expr] = {}
+        if not self._accept("PUNCT", ")"):
+            while True:
+                key = self._expect("IDENT").value
+                self._expect("PUNCT", ":")
+                args[key] = self._parse_expr()
+                if not self._accept("PUNCT", ","):
+                    break
+            self._expect("PUNCT", ")")
+        self._accept("PUNCT", ";")
+        return ast.Action(name=name, args=args)
+
+    def _looks_like_assignment(self) -> bool:
+        """Lookahead: IDENT (.IDENT)* '=' but not '=='."""
+        i = self.pos
+        toks = self.tokens
+        if toks[i].kind != "IDENT":
+            return False
+        i += 1
+        while (toks[i].kind == "PUNCT" and toks[i].value == "."
+               and toks[i + 1].kind == "IDENT"):
+            i += 2
+        return toks[i].kind == "PUNCT" and toks[i].value == "="
+
+    def _parse_if(self) -> ast.If:
+        self._expect("IDENT")  # 'if'
+        self._expect("PUNCT", "(")
+        cond = self._parse_expr()
+        self._expect("PUNCT", ")")
+        then = self._parse_body()
+        orelse: list[ast.Stmt] = []
+        if self._accept_ident("else"):
+            if self.cur.kind == "IDENT" and self.cur.value.lower() == "if":
+                orelse = [self._parse_if()]
+            else:
+                orelse = self._parse_body()
+        return ast.If(cond=cond, then=tuple(then), orelse=tuple(orelse))
+
+    # -- expressions -----------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept("PUNCT", "||"):
+            right = self._parse_and()
+            left = ast.BinOp(op="||", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_cmp()
+        while self._accept("PUNCT", "&&"):
+            right = self._parse_cmp()
+            left = ast.BinOp(op="&&", left=left, right=right)
+        return left
+
+    def _parse_cmp(self) -> ast.Expr:
+        left = self._parse_operand()
+        for op in _CMP_OPS:
+            if self._accept("PUNCT", op):
+                right = self._parse_operand()
+                return ast.BinOp(op="==" if op == "=" else op,
+                                 left=left, right=right)
+        return left
+
+    def _parse_operand(self) -> ast.Expr:
+        token = self.cur
+        if token.kind == "NUMBER":
+            self._next()
+            unit = ""
+            if (self.cur.kind == "IDENT"
+                    and self.cur.value.lower() in _UNIT_WORDS):
+                unit = self._next().value
+            if unit:
+                return ast.Literal(ast.Quantity(float(token.value), unit))
+            return ast.Literal(float(token.value))
+        if token.kind == "QUANTITY":
+            self._next()
+            number = ""
+            for i, ch in enumerate(token.value):
+                if ch.isdigit() or ch == ".":
+                    number += ch
+                else:
+                    return ast.Literal(ast.Quantity(float(number),
+                                                    token.value[i:]))
+            raise ParseError("malformed quantity", token)
+        if token.kind == "STRING":
+            self._next()
+            return ast.Literal(token.value)
+        if token.kind == "IDENT":
+            low = token.value.lower()
+            if low in ("true", "false"):
+                self._next()
+                return ast.Literal(low == "true")
+            return self._parse_path()
+        raise ParseError("expected an operand", token)
+
+    def _parse_path(self) -> ast.Path:
+        parts = [self._expect("IDENT").value]
+        while self.cur.kind == "PUNCT" and self.cur.value == ".":
+            if self._peek().kind != "IDENT":
+                break
+            self._next()
+            parts.append(self._expect("IDENT").value)
+        return ast.Path(tuple(parts))
+
+
+def parse_policy(text: str) -> ast.PolicyDoc:
+    """Parse a policy document into its AST."""
+    return Parser(text).parse()

@@ -1,0 +1,158 @@
+"""Synchronization and queueing primitives built on the kernel.
+
+These mirror the small set of constructs the Wiera implementation needs:
+FIFO message queues between components (:class:`Store`), counted resources
+for device/service concurrency limits (:class:`Resource`), mutual exclusion
+(:class:`SimLock`) and open/close request gates used while a consistency
+switch drains in-flight operations (:class:`Gate`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.sim.kernel import Event, SimulationError, Simulator
+
+
+class Store:
+    """An unbounded (or capacity-bounded) FIFO of Python objects.
+
+    ``put`` succeeds immediately unless the store is full, in which case the
+    put event is queued until space frees up.  ``get`` returns an event that
+    fires when an item is available.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        event = Event(self.sim)
+        if len(self.items) < self.capacity:
+            self._deposit(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._admit_waiting_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _deposit(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def _admit_waiting_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self._deposit(item)
+            event.succeed(item)
+
+
+class Resource:
+    """A counted resource with FIFO waiters (like a semaphore).
+
+    ``request()`` returns an event that fires once a slot is granted; the
+    holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter; in_use unchanged.
+            self._waiters.popleft().succeed(self)
+        else:
+            self.in_use -= 1
+
+
+class SimLock(Resource):
+    """Mutual exclusion: a Resource with capacity 1 and lock terminology."""
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, capacity=1)
+
+    def acquire(self) -> Event:
+        return self.request()
+
+    @property
+    def locked(self) -> bool:
+        return self.in_use > 0
+
+
+class Gate:
+    """An open/closed barrier.
+
+    While open, ``wait()`` completes immediately.  While closed, waiters
+    queue and are all released when the gate reopens.  Wiera closes the gate
+    in front of an instance while a consistency-model change drains queued
+    updates, exactly as described in §3.3.2 of the paper.
+    """
+
+    def __init__(self, sim: Simulator, open_: bool = True):
+        self.sim = sim
+        self._open = open_
+        self._waiters: list[Event] = []
+
+    @property
+    def is_open(self) -> bool:
+        return self._open
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        if self._open:
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def close(self) -> None:
+        self._open = False
+
+    def open(self) -> None:
+        self._open = True
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed()

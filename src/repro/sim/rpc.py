@@ -1,0 +1,167 @@
+"""Message-passing RPC over the simulated network (the Thrift substitute).
+
+Every Wiera component (Wiera service, Tiera servers, Tiera instances, the
+lock service, clients) is an :class:`RpcNode` bound to a simulated host.
+Handlers are generator functions executed *at the destination*, so their
+yields (storage accesses, nested RPCs) consume destination-side time, just
+as a Thrift service method would.
+
+A call is itself a process event: callers ``yield node.call(...)`` and
+receive the handler's return value, or have the remote exception (or a
+:class:`~repro.net.network.NetworkError`) raised into them — which is what
+client failover logic catches.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from repro.net.network import Host, Network
+from repro.sim.kernel import Process, Simulator
+
+
+class RpcError(RuntimeError):
+    """Application-level RPC failure."""
+
+
+class NoSuchMethodError(RpcError):
+    """The destination node has no handler registered for the method."""
+
+
+@dataclass
+class Message:
+    """One request as seen by a handler."""
+
+    src: str
+    dst: str
+    method: str
+    args: dict[str, Any] = field(default_factory=dict)
+    size: int = 256
+    sent_at: float = 0.0
+
+
+class RpcNode:
+    """A network endpoint with named generator handlers."""
+
+    #: default request/response envelope size in bytes (headers + small args)
+    ENVELOPE = 256
+
+    def __init__(self, sim: Simulator, network: Network, host: Host,
+                 name: Optional[str] = None):
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.name = name or host.name
+        self._handlers: dict[str, Callable[[Message], Generator]] = {}
+        self.requests_served = 0
+        self.dropped_oneways = 0
+
+    # -- registration -----------------------------------------------------
+    def register(self, method: str,
+                 handler: Callable[[Message], Generator]) -> None:
+        if not inspect.isgeneratorfunction(handler):
+            raise TypeError(
+                f"handler for {method!r} must be a generator function")
+        self._handlers[method] = handler
+
+    def register_service(self, service: object, prefix: str = "") -> None:
+        """Register every ``rpc_``-prefixed generator method of ``service``."""
+        for attr in dir(service):
+            if attr.startswith("rpc_"):
+                fn = getattr(service, attr)
+                if inspect.isgeneratorfunction(fn):
+                    self.register(prefix + attr[len("rpc_"):], fn)
+
+    # -- outgoing calls -----------------------------------------------------
+    def call(self, dst: "RpcNode", method: str,
+             args: Optional[dict[str, Any]] = None,
+             size: Optional[int] = None,
+             reply_size: Optional[int] = None) -> Process:
+        """Invoke ``method`` on ``dst``; returns a process/event to yield on."""
+        return self.sim.process(
+            self._call(dst, method, args or {}, size, reply_size),
+            name=f"rpc:{self.name}->{dst.name}:{method}")
+
+    def _call(self, dst: "RpcNode", method: str, args: dict[str, Any],
+              size: Optional[int], reply_size: Optional[int]) -> Generator:
+        msg = Message(src=self.name, dst=dst.name, method=method, args=args,
+                      size=size if size is not None else self.ENVELOPE,
+                      sent_at=self.sim.now)
+        yield from self.network.transmit(self.host, dst.host, msg.size)
+        result = yield from dst._dispatch(msg)
+        wire_reply = reply_size
+        if wire_reply is None:
+            wire_reply = self.ENVELOPE + _payload_size(result)
+        yield from self.network.transmit(dst.host, self.host, wire_reply)
+        return result
+
+    def send_oneway(self, dst: "RpcNode", method: str,
+                    args: Optional[dict[str, Any]] = None,
+                    size: Optional[int] = None) -> Process:
+        """Fire-and-forget: deliver and execute, swallowing network errors.
+
+        Used for background/asynchronous propagation (the ``queue``
+        response) where a dead replica must not crash the sender.
+        """
+        return self.sim.process(
+            self._oneway(dst, method, args or {}, size),
+            name=f"rpc1w:{self.name}->{dst.name}:{method}")
+
+    def _oneway(self, dst: "RpcNode", method: str, args: dict[str, Any],
+                size: Optional[int]) -> Generator:
+        msg = Message(src=self.name, dst=dst.name, method=method, args=args,
+                      size=size if size is not None else self.ENVELOPE,
+                      sent_at=self.sim.now)
+        try:
+            yield from self.network.transmit(self.host, dst.host, msg.size)
+            yield from dst._dispatch(msg)
+        except Exception:
+            self.dropped_oneways += 1
+
+    # -- incoming dispatch -----------------------------------------------------
+    def _dispatch(self, msg: Message) -> Generator:
+        if self.host.down:
+            from repro.net.network import HostDownError
+            raise HostDownError(f"node {self.name} is down")
+        handler = self._handlers.get(msg.method)
+        if handler is None:
+            raise NoSuchMethodError(
+                f"{self.name} has no method {msg.method!r} "
+                f"(has {sorted(self._handlers)})")
+        self.requests_served += 1
+        result = yield from handler(msg)
+        return result
+
+
+def _payload_size(value: Any) -> int:
+    """Rough wire size of a handler result, for reply transmission."""
+    if value is None:
+        return 0
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, dict):
+        data = value.get("data")
+        if isinstance(data, (bytes, bytearray)):
+            return len(data) + 64
+    return 64
+
+
+def call_with_timeout(sim: Simulator, call: Process, timeout: float):
+    """Race a call against a timeout; yields (completed, value) semantics.
+
+    Returns a generator suitable for ``yield from``; its value is the call
+    result, or raises :class:`TimeoutError` if the deadline fires first.
+    The late call result is defused so it cannot crash the simulation.
+    """
+    deadline = sim.timeout(timeout, value=_TIMED_OUT)
+    winner = yield sim.any_of([call, deadline])
+    index, value = winner
+    if value is _TIMED_OUT and index == 1:
+        call.defuse()
+        raise TimeoutError(f"rpc call timed out after {timeout}s")
+    return value
+
+
+_TIMED_OUT = object()

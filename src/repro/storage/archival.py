@@ -1,0 +1,81 @@
+"""Archival tier (Glacier).
+
+Writes behave like an object store, but reads require a *restore job*: the
+first read of an object starts a retrieval whose first byte arrives after
+``profile.retrieval_delay`` (hours for Glacier).  Once restored, an object
+stays readable for a configurable window.  This reproduces the asymmetry
+the paper leans on in §3.3.3: Glacier is for cold data you essentially
+never read synchronously.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.storage.backend import StorageBackend, StorageError
+
+
+class NotYetRestoredError(StorageError):
+    """A non-blocking read was attempted before the restore completed."""
+
+    def __init__(self, msg: str, ready_at: float):
+        super().__init__(msg)
+        self.ready_at = ready_at
+
+
+class ArchivalTier(StorageBackend):
+    """Glacier-like tier with restore jobs and a restored-copy window."""
+
+    UNBOUNDED = float(1 << 60)
+
+    def __init__(self, sim, profile, capacity: float | None = None,
+                 restore_window: float = 24 * 3600.0, **kwargs):
+        super().__init__(sim, profile,
+                         self.UNBOUNDED if capacity is None else capacity,
+                         **kwargs)
+        if self.profile.kind != "archival":
+            raise ValueError(
+                f"ArchivalTier requires an archival profile, got {self.profile.name}")
+        self.restore_window = restore_window
+        self._ready_at: dict[str, float] = {}  # key -> restore completion time
+        self.restores_started = 0
+
+    def is_restored(self, key: str) -> bool:
+        ready = self._ready_at.get(key)
+        return (ready is not None
+                and ready <= self.sim.now <= ready + self.restore_window)
+
+    def restore_pending(self, key: str) -> bool:
+        ready = self._ready_at.get(key)
+        return ready is not None and self.sim.now < ready
+
+    def request_restore(self, key: str) -> float:
+        """Start (or refresh) a restore job; returns the ready time."""
+        if key not in self._data:
+            from repro.storage.backend import ObjectMissingError
+            raise ObjectMissingError(f"{self.name}: no object {key!r}")
+        if self.is_restored(key):
+            return self.sim.now
+        if self.restore_pending(key):
+            return self._ready_at[key]
+        ready_at = self.sim.now + self.profile.retrieval_delay
+        self._ready_at[key] = ready_at
+        self.restores_started += 1
+        return ready_at
+
+    def read(self, key: str, blocking: bool = True) -> Generator:
+        """Read an archived object.
+
+        ``blocking=True`` waits out the restore job (simulated hours);
+        ``blocking=False`` raises :class:`NotYetRestoredError` carrying the
+        ready time, letting policies schedule a later retry instead.
+        """
+        if not self.is_restored(key):
+            ready_at = self.request_restore(key)
+            if not blocking:
+                raise NotYetRestoredError(
+                    f"{self.name}: {key!r} restoring until t={ready_at:.0f}s",
+                    ready_at)
+            yield self.sim.timeout(max(0.0, ready_at - self.sim.now))
+        data = yield from super().read(key)
+        return data

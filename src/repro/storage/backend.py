@@ -1,0 +1,198 @@
+"""Base simulated storage backend.
+
+A backend really stores bytes in a dict and enforces its capacity; reads
+and writes are generators that consume modeled service time (base latency +
+streaming time, under an optional IOPS completion cap).  Subclasses add
+family-specific behaviour (volatility, restore jobs, request billing).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterator, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import Resource
+from repro.storage.profiles import TierProfile, get_tier_profile
+
+
+class StorageError(RuntimeError):
+    """Base class for storage failures."""
+
+
+class CapacityExceededError(StorageError):
+    """A write would overflow the tier's provisioned capacity."""
+
+
+class ObjectMissingError(StorageError, KeyError):
+    """Read or delete of a key the tier does not hold."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep it readable
+        return RuntimeError.__str__(self)
+
+
+class StorageBackend:
+    """One storage tier instance: capacity, contents, timing, accounting."""
+
+    def __init__(self, sim: Simulator, profile: str | TierProfile,
+                 capacity: float, name: str = "",
+                 rng: Optional[np.random.Generator] = None,
+                 ledger=None, region: str = ""):
+        self.sim = sim
+        self.profile = (profile if isinstance(profile, TierProfile)
+                        else get_tier_profile(profile))
+        if capacity <= 0:
+            raise StorageError(f"capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self.name = name or self.profile.name
+        self.region = region
+        self._data: dict[str, bytes] = {}
+        self.used_bytes = 0
+        self._rng = rng
+        self._ledger = ledger
+        # IOPS cap: a serialized completion channel; each op holds it for
+        # 1/iops seconds, so completions are spaced at the device's rate.
+        self._iops_channel: Optional[Resource] = None
+        if self.profile.iops != float("inf"):
+            self._iops_channel = Resource(sim, capacity=1)
+        self.reads = 0
+        self.writes = 0
+        self.deletes = 0
+
+    # -- capacity & contents -------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())
+
+    def size_of(self, key: str) -> int:
+        try:
+            return len(self._data[key])
+        except KeyError:
+            raise ObjectMissingError(f"{self.name}: no object {key!r}") from None
+
+    @property
+    def free_bytes(self) -> float:
+        return self.capacity - self.used_bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        return self.used_bytes / self.capacity
+
+    def preload(self, key: str, data: bytes) -> None:
+        """Install bytes instantly (zero simulated time).
+
+        Setup-phase helper for experiments that need terabytes "already
+        there" (e.g. the prepared SysBench file, the populated RUBiS
+        database) — not part of the timed data path.
+        """
+        data = bytes(data)
+        previous = len(self._data.get(key, b""))
+        new_used = self.used_bytes - previous + len(data)
+        if new_used > self.capacity:
+            raise CapacityExceededError(
+                f"{self.name}: preload of {len(data)}B would overflow")
+        self._data[key] = data
+        self.used_bytes = new_used
+        if self._ledger is not None:
+            self._ledger.record_usage(self)
+
+    def peek(self, key: str) -> bytes:
+        """Zero-time read for assertions/tests — not part of the data path."""
+        try:
+            return self._data[key]
+        except KeyError:
+            raise ObjectMissingError(f"{self.name}: no object {key!r}") from None
+
+    # -- timing helpers -------------------------------------------------------
+    def _jitter(self) -> float:
+        sigma = self.profile.jitter_sigma
+        if self._rng is None or sigma <= 0:
+            return 1.0
+        return float(self._rng.lognormal(mean=0.0, sigma=sigma))
+
+    def _occupy(self, service: float) -> Generator:
+        """Consume service time, honouring the IOPS completion cap."""
+        if self._iops_channel is not None:
+            spacing = 1.0 / self.profile.iops
+            yield self._iops_channel.request()
+            try:
+                yield self.sim.timeout(max(service, spacing))
+            finally:
+                self._iops_channel.release()
+        elif service > 0:
+            yield self.sim.timeout(service)
+
+    # -- data path -------------------------------------------------------------
+    def write(self, key: str, data: bytes) -> Generator:
+        """Store ``data`` under ``key`` (overwrite allowed); yields time."""
+        if not isinstance(data, (bytes, bytearray)):
+            raise TypeError(f"storage data must be bytes, got {type(data)}")
+        data = bytes(data)
+        previous = len(self._data.get(key, b""))
+        new_used = self.used_bytes - previous + len(data)
+        if new_used > self.capacity:
+            raise CapacityExceededError(
+                f"{self.name}: writing {len(data)}B would use {new_used}B "
+                f"of {self.capacity}B")
+        service = self.profile.service_time(len(data), write=True) * self._jitter()
+        yield from self._occupy(service)
+        # Commit after the service time so concurrent readers cannot observe
+        # a write that has not completed.
+        previous = len(self._data.get(key, b""))
+        self._data[key] = data
+        self.used_bytes += len(data) - previous
+        self.writes += 1
+        if self._ledger is not None:
+            self._ledger.record_put(self)
+            self._ledger.record_usage(self)
+
+    def read(self, key: str) -> Generator:
+        """Return the bytes stored under ``key``; yields time."""
+        if key not in self._data:
+            raise ObjectMissingError(f"{self.name}: no object {key!r}")
+        nbytes = len(self._data[key])
+        service = self.profile.service_time(nbytes, write=False) * self._jitter()
+        yield from self._occupy(service)
+        self.reads += 1
+        if self._ledger is not None:
+            self._ledger.record_get(self)
+        data = self._data.get(key)
+        if data is None:
+            raise ObjectMissingError(
+                f"{self.name}: object {key!r} deleted during read")
+        return data
+
+    def delete(self, key: str) -> Generator:
+        """Remove ``key``; yields a small metadata-update time."""
+        if key not in self._data:
+            raise ObjectMissingError(f"{self.name}: no object {key!r}")
+        yield self.sim.timeout(self.profile.write_latency * 0.5)
+        data = self._data.pop(key, None)
+        if data is not None:
+            self.used_bytes -= len(data)
+        self.deletes += 1
+        if self._ledger is not None:
+            self._ledger.record_usage(self)
+
+    def grow(self, additional: float) -> None:
+        """Extend provisioned capacity (the Tiera ``grow`` response)."""
+        if additional <= 0:
+            raise StorageError("grow() requires a positive amount")
+        self.capacity += additional
+        if self._ledger is not None:
+            self._ledger.record_usage(self)
+
+    def wipe(self) -> None:
+        """Drop all contents instantly (volatile tier losing its host)."""
+        self._data.clear()
+        self.used_bytes = 0
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name} "
+                f"{self.used_bytes}/{int(self.capacity)}B {len(self)} objs>")

@@ -1,0 +1,26 @@
+"""HTTP object-store tiers (S3, S3-IA).
+
+Object stores have no provisioned volume: you pay for what you store, so
+the default capacity is effectively unbounded and ``fill`` events are not
+meaningful.  Requests are individually billed (Table 4), which the ledger
+records on every read/write.
+"""
+
+from __future__ import annotations
+
+from repro.storage.backend import StorageBackend
+
+
+class ObjectStoreTier(StorageBackend):
+    """S3-like tier: pay-per-use, practically unbounded capacity."""
+
+    #: 1 EiB stand-in for "unbounded"
+    UNBOUNDED = float(1 << 60)
+
+    def __init__(self, sim, profile, capacity: float | None = None, **kwargs):
+        super().__init__(sim, profile,
+                         self.UNBOUNDED if capacity is None else capacity,
+                         **kwargs)
+        if self.profile.kind != "object":
+            raise ValueError(
+                f"ObjectStoreTier requires an object profile, got {self.profile.name}")

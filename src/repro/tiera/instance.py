@@ -1,0 +1,810 @@
+"""The Tiera instance: multi-tier storage + local policy engine + RPC.
+
+One instance runs inside a Tiera server in one data center.  It owns its
+storage tiers, its metadata store, and the interpretation of its local
+policy's event-response rules; its *global* behaviour (replication,
+consistency, forwarding) is delegated to an attached protocol object
+managed by Wiera.
+
+The data path really moves bytes: a put stages the payload, runs the
+insert rules (which decide tier placement, set dirty bits, trigger
+write-through copies...), and a get locates the fastest tier holding the
+chosen version and decodes any compress/encrypt chain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generator, Iterable, Optional
+
+from repro.net.link import BandwidthLink
+from repro.net.network import Host, Network
+from repro.sim.kernel import Simulator
+from repro.sim.primitives import Gate
+from repro.sim.rpc import Message, RpcNode
+from repro.storage.backend import ObjectMissingError, StorageBackend
+from repro.storage.factory import make_tier
+from repro.tiera import transforms
+from repro.tiera.local_protocol import LocalOnlyProtocol
+from repro.tiera.metadata_store import MetadataStore
+from repro.tiera.objects import ObjectRecord, VersionMeta, storage_key
+from repro.tiera.events import FilledEvent
+from repro.tiera.policy import LocalPolicy, Rule
+from repro.tiera.responses import ResponseContext
+from repro.util.rng import RngRegistry
+
+#: fixed metadata-store update overhead charged per mutating operation
+METADATA_WRITE_LATENCY = 0.0002
+
+
+class TieraError(RuntimeError):
+    pass
+
+
+class InstanceRef:
+    """Lightweight handle on a (possibly remote) peer instance."""
+
+    def __init__(self, instance_id: str, region: str, node: RpcNode):
+        self.instance_id = instance_id
+        self.region = region
+        self.node = node
+
+    def __repr__(self) -> str:
+        return f"<InstanceRef {self.instance_id}@{self.region}>"
+
+
+class TieraInstance:
+    """One policy-defined storage instance inside a single DC."""
+
+    def __init__(self, sim: Simulator, network: Network, host: Host,
+                 instance_id: str, region: str, policy: LocalPolicy,
+                 rng: Optional[RngRegistry] = None, ledger=None,
+                 keyring: Optional[dict[str, str]] = None,
+                 extra_tiers: Optional[dict[str, StorageBackend]] = None):
+        self.sim = sim
+        self.network = network
+        self.host = host
+        self.instance_id = instance_id
+        self.region = region
+        self.policy = policy
+        self.rng = rng or RngRegistry(0)
+        self.ledger = ledger
+        self.keyring = dict(keyring or {"default": f"key-{instance_id}"})
+
+        self.node = RpcNode(sim, network, host, name=f"tiera:{instance_id}")
+        self.meta = MetadataStore()
+        self.gate = Gate(sim, open_=True)
+        self.protocol = LocalOnlyProtocol()
+        self.protocol.attach(self)
+        self.peers: dict[str, InstanceRef] = {}  # instance_id -> ref
+        self.wiera = None          # TIM backlink, set by core
+        self.lock_client = None    # GlobalLockClient, set by core
+
+        # Tiers, in policy order.
+        self.tiers: dict[str, StorageBackend] = {}
+        for spec in policy.tiers:
+            backend = make_tier(
+                sim, spec.profile, spec.capacity,
+                name=f"{instance_id}.{spec.name}",
+                rng=self.rng.stream(f"{instance_id}.{spec.name}"),
+                ledger=ledger, region=region, **spec.options)
+            self.tiers[spec.name] = backend
+        if extra_tiers:
+            for name, backend in extra_tiers.items():
+                if name in self.tiers:
+                    raise TieraError(f"duplicate tier name {name!r}")
+                self.tiers[name] = backend
+
+        # Payload staging between version creation and tier placement.
+        self._staging: dict[tuple[str, int], bytes] = {}
+        self._copy_links: dict[object, BandwidthLink] = {}
+        self._filled_armed: dict[int, bool] = {}  # rule index -> armed
+
+        # In-flight data operations (a consistency switch drains these
+        # before swapping protocols — "all operations in progress ...
+        # applied first", §3.3.2).
+        self.inflight = 0
+
+        # Load-balancing redirect installed by Wiera's load balancer: a
+        # (peer_instance_id, fraction) pair makes this instance forward
+        # that fraction of gets to the peer (the `forward` response for
+        # RequestsMonitoring events, §3.2.3).
+        self.get_redirect: Optional[tuple[str, float]] = None
+        self.redirected_gets = 0
+        self._lb_rng = self.rng.stream(f"{instance_id}.lb")
+
+        # Telemetry.
+        self.puts_from_app = 0
+        self.gets_from_app = 0
+        self.conflicts_resolved = 0
+        self.updates_applied = 0
+        self.updates_ignored = 0
+        self.request_log: deque[tuple[float, str]] = deque()  # (t, source)
+        self.get_log: deque[float] = deque()                  # get arrivals
+        self.latency_listeners: list = []  # callbacks(op, elapsed, src)
+        self._background: list = []
+        self.running = False
+
+        self._register_rpc()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch background policy processes (timers, cold scanners)."""
+        if self.running:
+            return
+        self.running = True
+        for rule in self.policy.timer_rules():
+            self._background.append(self.sim.process(
+                self._timer_loop(rule), name=f"{self.instance_id}:timer"))
+        for rule in self.policy.cold_rules():
+            self._background.append(self.sim.process(
+                self._cold_loop(rule), name=f"{self.instance_id}:cold"))
+
+    def stop(self) -> None:
+        self.running = False
+        for proc in self._background:
+            if proc.is_alive:
+                proc.interrupt("instance stopped")
+        self._background.clear()
+
+    def on_host_crash(self) -> None:
+        """Volatile tiers lose their contents; background work stops."""
+        self.stop()
+        for backend in self.tiers.values():
+            if backend.profile.volatile:
+                backend.wipe()
+                for record in self.meta.records():
+                    for meta in record.versions.values():
+                        meta.locations.discard(self._tier_name(backend))
+
+    def checkpoint_metadata(self, path) -> None:
+        """Persist all object metadata (the BerkeleyDB role, §4.2):
+        "all object metadata is stored and persisted"."""
+        self.meta.checkpoint(path)
+
+    def restore_metadata(self, path) -> None:
+        """Reload a metadata checkpoint (e.g. after a server restart).
+
+        Locations referring to volatile tiers that lost their contents are
+        dropped so reads don't chase ghosts.
+        """
+        self.meta.load(path)
+        for record in self.meta.records():
+            for meta in record.versions.values():
+                for loc in list(meta.locations):
+                    backend = self.tiers.get(loc)
+                    if backend is None:
+                        meta.locations.discard(loc)
+                        continue
+                    skey = storage_key(record.key, meta.version)
+                    if skey not in backend:
+                        meta.locations.discard(loc)
+
+    def _tier_name(self, backend: StorageBackend) -> str:
+        for name, b in self.tiers.items():
+            if b is backend:
+                return name
+        raise TieraError("backend not part of this instance")
+
+    # ------------------------------------------------------------------
+    # tiers
+    # ------------------------------------------------------------------
+    def tier(self, name: str) -> StorageBackend:
+        try:
+            return self.tiers[name]
+        except KeyError:
+            raise TieraError(
+                f"{self.instance_id}: no tier {name!r} "
+                f"(has {sorted(self.tiers)})") from None
+
+    def read_preference(self, locations: Iterable[str]) -> list[str]:
+        """Locations ordered fastest-first by profile read latency."""
+        known = [loc for loc in locations if loc in self.tiers]
+        return sorted(known, key=lambda n: self.tiers[n].profile.read_latency)
+
+    def copy_limiter(self, response) -> BandwidthLink:
+        link = self._copy_links.get(response)
+        if link is None:
+            link = BandwidthLink(self.sim, response.bandwidth,
+                                 name=f"{self.instance_id}.copy")
+            self._copy_links[response] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # version primitives (used by responses and protocols)
+    # ------------------------------------------------------------------
+    def _payload(self, key: str, version: int, meta: VersionMeta) -> Generator:
+        """Fetch raw (encoded) bytes for a version, cheapest source first."""
+        staged = self._staging.get((key, version))
+        if staged is not None:
+            return staged
+            yield  # pragma: no cover
+        for tier_name in self.read_preference(meta.locations):
+            backend = self.tiers[tier_name]
+            skey = storage_key(key, version)
+            if skey in backend:
+                data = yield from backend.read(skey)
+                return data
+        raise ObjectMissingError(
+            f"{self.instance_id}: no readable copy of {key!r} v{version}")
+
+    def local_put(self, key: str, data: bytes, version: Optional[int] = None,
+                  tags: Iterable[str] = (), origin: str = "",
+                  last_modified: Optional[float] = None,
+                  run_rules: bool = True) -> Generator:
+        """Create (or install) a version locally, honouring insert rules.
+
+        Returns the version number.  ``version``/``last_modified`` are
+        supplied when installing a replica update so the metadata matches
+        the originating instance.
+        """
+        now = self.sim.now
+        record = self.meta.get_record(key)
+        if record is None:
+            record = ObjectRecord(key=key)
+            self.meta.put_record(record)
+        if version is None:
+            version = record.next_version()
+        if version in record.versions:
+            raise TieraError(
+                f"{self.instance_id}: version {version} of {key!r} exists")
+        meta = VersionMeta(
+            version=version, size=len(data), created_at=now,
+            last_modified=last_modified if last_modified is not None else now,
+            last_accessed=now, origin=origin or self.instance_id)
+        record.add_version(meta)
+        record.tags.update(tags)
+        self._staging[(key, version)] = bytes(data)
+        try:
+            ctx = ResponseContext(key=key, version=version)
+            if run_rules:
+                for rule in self.policy.insert_rules(None):
+                    for response in rule.responses:
+                        yield from response.execute(self, ctx)
+            if not meta.locations:
+                yield from self.store_version(
+                    key, version, self.policy.default_store_tier())
+            if run_rules:
+                for placed in list(meta.locations):
+                    for rule in self.policy.insert_rules(placed):
+                        ctx_t = ResponseContext(key=key, version=version,
+                                                tier=placed)
+                        for response in rule.responses:
+                            yield from response.execute(self, ctx_t)
+        finally:
+            self._staging.pop((key, version), None)
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        yield from self._garbage_collect(record)
+        yield from self._check_filled()
+        return version
+
+    def store_version(self, key: str, version: int, tier_name: str) -> Generator:
+        record = self._record_or_raise(key)
+        meta = self._meta_or_raise(record, version)
+        backend = self.tier(tier_name)
+        data = yield from self._payload(key, version, meta)
+        yield from backend.write(storage_key(key, version), data)
+        meta.locations.add(tier_name)
+        meta.stored_size = len(data)
+
+    def copy_version(self, key: str, version: int, tier_name: str) -> Generator:
+        yield from self.store_version(key, version, tier_name)
+
+    def move_version(self, key: str, version: int, tier_name: str,
+                     from_tier: Optional[str] = None) -> Generator:
+        record = self._record_or_raise(key)
+        meta = self._meta_or_raise(record, version)
+        if tier_name not in meta.locations:
+            yield from self.store_version(key, version, tier_name)
+        sources = ([from_tier] if from_tier
+                   else [t for t in list(meta.locations) if t != tier_name])
+        for src in sources:
+            if src is None or src == tier_name or src not in meta.locations:
+                continue
+            backend = self.tier(src)
+            skey = storage_key(key, version)
+            if skey in backend:
+                yield from backend.delete(skey)
+            meta.locations.discard(src)
+
+    def purge_version(self, key: str, version: int) -> Generator:
+        record = self._record_or_raise(key)
+        meta = self._meta_or_raise(record, version)
+        skey = storage_key(key, version)
+        for tier_name in list(meta.locations):
+            backend = self.tiers.get(tier_name)
+            if backend is not None and skey in backend:
+                yield from backend.delete(skey)
+        record.drop_version(version)
+        if not record.versions:
+            self.meta.delete_record(key)
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+
+    def transform_version(self, key: str, version: int, name: str,
+                          level: int = 6) -> Generator:
+        """Apply a compress/encrypt transform in place on every location."""
+        record = self._record_or_raise(key)
+        meta = self._meta_or_raise(record, version)
+        if name in meta.encodings:
+            return  # idempotent
+        data = yield from self._payload(key, version, meta)
+        encoded = transforms.encode(name, data, self.keyring, level=level)
+        skey = storage_key(key, version)
+        for tier_name in list(meta.locations):
+            backend = self.tier(tier_name)
+            yield from backend.write(skey, encoded)
+        meta.encodings = meta.encodings + (name,)
+        meta.stored_size = len(encoded)
+
+    def read_version(self, key: str, version: Optional[int] = None,
+                     run_rules: bool = True) -> Generator:
+        """Return (decoded bytes, version meta, record) for key/version.
+
+        ``run_rules`` triggers the policy's get-operation rules (e.g. a
+        promotion rule copying a slow-tier object into the cache); they
+        run in the background so the read reply is not delayed.
+        """
+        record = self._record_or_raise(key)
+        if version is None:
+            meta = record.latest()
+            if meta is None:
+                raise ObjectMissingError(f"{self.instance_id}: {key!r} empty")
+        else:
+            meta = self._meta_or_raise(record, version)
+        served_from = next(iter(self.read_preference(meta.locations)), None)
+        raw = yield from self._payload(key, meta.version, meta)
+        data = transforms.decode_chain(meta.encodings, raw, self.keyring)
+        meta.touch(self.sim.now)
+        if run_rules:
+            self._fire_get_rules(key, meta.version, served_from)
+        return data, meta, record
+
+    def _fire_get_rules(self, key: str, version: int,
+                        served_from: Optional[str]) -> None:
+        """Run matching get-operation rules asynchronously."""
+        rules = [r for r in self.policy.operation_rules("get")
+                 if r.event.tier is None or r.event.tier == served_from]
+        if not rules:
+            return
+        ctx = ResponseContext(key=key, version=version, tier=served_from)
+
+        def runner():
+            for rule in rules:
+                yield from self._run_rule(rule, ctx)
+        self.sim.process(runner(), name=f"{self.instance_id}:get-rules")
+
+    def local_remove(self, key: str, version: Optional[int] = None) -> Generator:
+        record = self.meta.get_record(key)
+        if record is None:
+            return 0
+        victims = [version] if version is not None else record.version_list()
+        removed = 0
+        for v in victims:
+            if record.has_version(v):
+                yield from self.purge_version(key, v)
+                removed += 1
+        return removed
+
+    def _record_or_raise(self, key: str) -> ObjectRecord:
+        record = self.meta.get_record(key)
+        if record is None:
+            raise ObjectMissingError(f"{self.instance_id}: no object {key!r}")
+        return record
+
+    @staticmethod
+    def _meta_or_raise(record: ObjectRecord, version: int) -> VersionMeta:
+        meta = record.versions.get(version)
+        if meta is None:
+            raise ObjectMissingError(
+                f"no version {version} of {record.key!r} "
+                f"(has {record.version_list()})")
+        return meta
+
+    # ------------------------------------------------------------------
+    # conflict handling (last-write-wins, §4.2)
+    # ------------------------------------------------------------------
+    def apply_replica_update(self, key: str, version: int,
+                             last_modified: float, data: bytes,
+                             origin: str) -> Generator:
+        """Install an update from a peer if it wins LWW; returns decision."""
+        record = self.meta.get_record(key)
+        incoming = VersionMeta(version=version, size=len(data), created_at=0,
+                               last_modified=last_modified, last_accessed=0,
+                               origin=origin)
+        if record is not None:
+            local_latest = record.latest()
+            if record.has_version(version):
+                existing = record.versions[version]
+                if incoming.newer_than(existing):
+                    # Same version number, newer write: replace contents.
+                    self.conflicts_resolved += 1
+                    yield from self.purge_version(key, version)
+                else:
+                    self.updates_ignored += 1
+                    return {"applied": False, "reason": "lww-older"}
+            elif local_latest is not None and not incoming.newer_than(local_latest) \
+                    and version < local_latest.version:
+                # Strictly older than what we already expose; keep history.
+                pass
+        yield from self.local_put(key, data, version=version, origin=origin,
+                                  last_modified=last_modified)
+        self.updates_applied += 1
+        return {"applied": True}
+
+    # ------------------------------------------------------------------
+    # background policy engines
+    # ------------------------------------------------------------------
+    def _run_rule(self, rule: Rule, ctx: ResponseContext) -> Generator:
+        for response in rule.responses:
+            yield from response.execute(self, ctx)
+        # Background copies/moves change tier occupancy too — fill rules
+        # must see it (write-back flushes can push a tier past threshold).
+        if not isinstance(rule.event, FilledEvent):
+            yield from self._check_filled()
+
+    def _timer_loop(self, rule: Rule) -> Generator:
+        from repro.sim.kernel import Interrupt
+        period = rule.event.period
+        try:
+            while self.running:
+                yield self.sim.timeout(period)
+                yield from self._run_rule(rule, ResponseContext(event=rule.event))
+        except Interrupt:
+            return
+
+    def _cold_loop(self, rule: Rule) -> Generator:
+        from repro.sim.kernel import Interrupt
+        event = rule.event
+        try:
+            while self.running:
+                yield self.sim.timeout(event.check_interval)
+                yield from self._run_rule(
+                    rule, ResponseContext(event=event))
+        except Interrupt:
+            return
+
+    def _check_filled(self) -> Generator:
+        for idx, rule in enumerate(self.policy.filled_rules()):
+            event = rule.event
+            backend = self.tiers.get(event.tier)
+            if backend is None:
+                continue
+            armed = self._filled_armed.get(idx, True)
+            frac = backend.fill_fraction
+            if armed and frac >= event.fraction:
+                self._filled_armed[idx] = False
+                yield from self._run_rule(
+                    rule, ResponseContext(event=event, tier=event.tier))
+            elif not armed and frac < event.fraction:
+                self._filled_armed[idx] = True
+
+    def _garbage_collect(self, record: ObjectRecord) -> Generator:
+        keep = self.policy.keep_versions
+        if keep is None or len(record.versions) <= keep:
+            return
+        for version in record.version_list()[:-keep]:
+            yield from self.purge_version(record.key, version)
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def note_request(self, source: str) -> None:
+        self.request_log.append((self.sim.now, source))
+        horizon = self.sim.now - 3600.0
+        while self.request_log and self.request_log[0][0] < horizon:
+            self.request_log.popleft()
+
+    def _note_get(self) -> None:
+        self.get_log.append(self.sim.now)
+        horizon = self.sim.now - 3600.0
+        while self.get_log and self.get_log[0] < horizon:
+            self.get_log.popleft()
+
+    def gets_in_window(self, window: float) -> int:
+        cutoff = self.sim.now - window
+        return sum(1 for t in reversed(self.get_log) if t >= cutoff)
+
+    def requests_in_window(self, window: float) -> dict[str, int]:
+        """Request counts per source over the trailing ``window`` seconds."""
+        cutoff = self.sim.now - window
+        counts: dict[str, int] = {}
+        for t, src in reversed(self.request_log):
+            if t < cutoff:
+                break
+            counts[src] = counts.get(src, 0) + 1
+        return counts
+
+    def _notify_latency(self, op: str, elapsed: float, src: str) -> None:
+        for listener in self.latency_listeners:
+            listener(op, elapsed, src)
+
+    # ------------------------------------------------------------------
+    # RPC surface
+    # ------------------------------------------------------------------
+    def _register_rpc(self) -> None:
+        n = self.node
+        n.register("put", self.rpc_put)
+        n.register("get", self.rpc_get)
+        n.register("get_version", self.rpc_get_version)
+        n.register("get_version_list", self.rpc_get_version_list)
+        n.register("update", self.rpc_update)
+        n.register("remove", self.rpc_remove)
+        n.register("remove_version", self.rpc_remove_version)
+        n.register("replica_update", self.rpc_replica_update)
+        n.register("replica_remove", self.rpc_replica_remove)
+        n.register("forward_put", self.rpc_forward_put)
+        n.register("peer_get", self.rpc_peer_get)
+        n.register("peer_has", self.rpc_peer_has)
+        n.register("probe", self.rpc_probe)
+        n.register("stats", self.rpc_stats)
+        n.register("list_keys", self.rpc_list_keys)
+        n.register("tier_put", self.rpc_tier_put)
+        n.register("tier_get", self.rpc_tier_get)
+        n.register("tier_delete", self.rpc_tier_delete)
+        n.register("tier_has", self.rpc_tier_has)
+        n.register("ctl_close_gate", self.rpc_ctl_close_gate)
+        n.register("ctl_open_gate", self.rpc_ctl_open_gate)
+        n.register("ctl_drain", self.rpc_ctl_drain)
+        n.register("ctl_set_protocol", self.rpc_ctl_set_protocol)
+        n.register("ctl_set_peers", self.rpc_ctl_set_peers)
+        n.register("ctl_add_tier", self.rpc_ctl_add_tier)
+        n.register("ctl_set_redirect", self.rpc_ctl_set_redirect)
+        n.register("ctl_demote_cold", self.rpc_ctl_demote_cold)
+        n.register("ctl_adopt_remote_cold", self.rpc_ctl_adopt_remote_cold)
+
+    def rpc_put(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        start = self.sim.now
+        self.puts_from_app += 1
+        self.note_request("app")
+        self.inflight += 1
+        try:
+            result = yield from self.protocol.on_put(
+                self, msg.args["key"], msg.args["data"],
+                tags=msg.args.get("tags", ()), src="app")
+        finally:
+            self.inflight -= 1
+        self._notify_latency("put", self.sim.now - start, "app")
+        return result
+
+    def rpc_get(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        start = self.sim.now
+        self.gets_from_app += 1
+        self._note_get()
+        redirect = self.get_redirect
+        if redirect is not None:
+            peer_id, fraction = redirect
+            peer = self.peers.get(peer_id)
+            if peer is not None and self._lb_rng.random() < fraction:
+                self.redirected_gets += 1
+                result = yield self.node.call(
+                    peer.node, "peer_get",
+                    {"key": msg.args["key"],
+                     "version": msg.args.get("version")})
+                self._notify_latency("get", self.sim.now - start, "app")
+                return result
+        result = yield from self.protocol.on_get(self, msg.args["key"],
+                                                 msg.args.get("version"))
+        self._notify_latency("get", self.sim.now - start, "app")
+        return result
+
+    def rpc_get_version(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        result = yield from self.protocol.on_get(
+            self, msg.args["key"], msg.args["version"])
+        return result
+
+    def rpc_get_version_list(self, msg: Message) -> Generator:
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        record = self.meta.get_record(msg.args["key"])
+        return {"versions": record.version_list() if record else []}
+
+    def rpc_update(self, msg: Message) -> Generator:
+        """Table 2 ``update``: rewrite the contents of a specific version."""
+        yield self.gate.wait()
+        key, version = msg.args["key"], msg.args["version"]
+        record = self._record_or_raise(key)
+        self._meta_or_raise(record, version)
+        yield from self.purge_version(key, version)
+        yield from self.local_put(key, msg.args["data"], version=version)
+        return {"version": version, "updated": True}
+
+    def rpc_remove(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        result = yield from self.protocol.on_remove(self, msg.args["key"])
+        return result
+
+    def rpc_remove_version(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        result = yield from self.protocol.on_remove(
+            self, msg.args["key"], msg.args["version"])
+        return result
+
+    def rpc_replica_update(self, msg: Message) -> Generator:
+        self.note_request(msg.args.get("origin", msg.src))
+        result = yield from self.protocol.on_replica_update(self, msg.args)
+        return result
+
+    def rpc_replica_remove(self, msg: Message) -> Generator:
+        result = yield from self.protocol.on_replica_remove(self, msg.args)
+        return result
+
+    def rpc_forward_put(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        start = self.sim.now
+        origin = msg.args.get("origin", msg.src)
+        self.note_request(origin)
+        self.inflight += 1
+        try:
+            result = yield from self.protocol.on_put(
+                self, msg.args["key"], msg.args["data"],
+                tags=msg.args.get("tags", ()), src=origin)
+        finally:
+            self.inflight -= 1
+        self._notify_latency("put", self.sim.now - start, origin)
+        return result
+
+    def rpc_peer_get(self, msg: Message) -> Generator:
+        data, meta, record = yield from self.read_version(
+            msg.args["key"], msg.args.get("version"))
+        return {"data": data, "version": meta.version,
+                "latest_local": record.latest_version,
+                "last_modified": meta.last_modified,
+                "origin": meta.origin}
+
+    def rpc_peer_has(self, msg: Message) -> Generator:
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        record = self.meta.get_record(msg.args["key"])
+        return {"latest": record.latest_version if record else 0}
+
+    def rpc_probe(self, msg: Message) -> Generator:
+        yield self.sim.timeout(0.00005)
+        return {"t": self.sim.now, "instance": self.instance_id}
+
+    def rpc_list_keys(self, msg: Message) -> Generator:
+        """Keys and latest versions held here (used for replica re-sync)."""
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        listing = [(rec.key, rec.latest_version) for rec in self.meta.records()]
+        return {"keys": listing}
+
+    def rpc_stats(self, msg: Message) -> Generator:
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        return {
+            "instance": self.instance_id,
+            "region": self.region,
+            "objects": self.meta.record_count(),
+            "puts_from_app": self.puts_from_app,
+            "gets_from_app": self.gets_from_app,
+            "tiers": {name: {"used": b.used_bytes, "objects": len(b)}
+                      for name, b in self.tiers.items()},
+        }
+
+    # -- raw tier access (modular instances, §3.2.2) -----------------------
+    def rpc_tier_put(self, msg: Message) -> Generator:
+        backend = self.tier(msg.args["tier"])
+        yield from backend.write(msg.args["skey"], msg.args["data"])
+        return {"stored": True}
+
+    def rpc_tier_get(self, msg: Message) -> Generator:
+        backend = self.tier(msg.args["tier"])
+        data = yield from backend.read(msg.args["skey"])
+        return {"data": data}
+
+    def rpc_tier_delete(self, msg: Message) -> Generator:
+        backend = self.tier(msg.args["tier"])
+        skey = msg.args["skey"]
+        if skey in backend:
+            yield from backend.delete(skey)
+            return {"deleted": True}
+        return {"deleted": False}
+
+    def rpc_tier_has(self, msg: Message) -> Generator:
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        backend = self.tier(msg.args["tier"])
+        return {"has": msg.args["skey"] in backend}
+
+    # -- control plane (driven by Wiera's Tiera Instance Manager) -----------
+    def rpc_ctl_close_gate(self, msg: Message) -> Generator:
+        """Block new application requests (consistency switch in progress)."""
+        yield self.sim.timeout(0.00005)
+        self.gate.close()
+        return {"closed": True}
+
+    def rpc_ctl_open_gate(self, msg: Message) -> Generator:
+        yield self.sim.timeout(0.00005)
+        self.gate.open()
+        return {"opened": True}
+
+    def rpc_ctl_drain(self, msg: Message) -> Generator:
+        """Apply all in-progress and queued operations before a policy
+        change ("all operations in progress (or queued) ... applied
+        first", §3.3.2)."""
+        while self.inflight > 0:
+            yield self.sim.timeout(0.005)
+        yield from self.protocol.drain(self)
+        return {"drained": True}
+
+    def rpc_ctl_set_protocol(self, msg: Message) -> Generator:
+        yield self.sim.timeout(0.0001)
+        old = self.protocol
+        old.detach(self)
+        self.protocol = msg.args["protocol"]
+        self.protocol.attach(self)
+        return {"protocol": self.protocol.name, "previous": old.name}
+
+    def rpc_ctl_set_peers(self, msg: Message) -> Generator:
+        """Install the peer table propagated by the TIM (step 6 of §4.1)."""
+        yield self.sim.timeout(0.0001)
+        self.peers = dict(msg.args["peers"])
+        self.peers.pop(self.instance_id, None)
+        return {"peers": sorted(self.peers)}
+
+    def rpc_ctl_add_tier(self, msg: Message) -> Generator:
+        """Attach an externally-built tier (e.g. a shared InstanceTier)."""
+        yield self.sim.timeout(0.0001)
+        name, backend = msg.args["name"], msg.args["backend"]
+        if name in self.tiers:
+            raise TieraError(f"{self.instance_id}: tier {name!r} exists")
+        self.tiers[name] = backend
+        return {"added": name}
+
+    def rpc_ctl_set_redirect(self, msg: Message) -> Generator:
+        """Install/clear a get-forwarding redirect (load balancing)."""
+        yield self.sim.timeout(0.00005)
+        peer_id = msg.args.get("peer")
+        if peer_id is None:
+            self.get_redirect = None
+        else:
+            self.get_redirect = (peer_id, float(msg.args["fraction"]))
+        return {"redirect": self.get_redirect}
+
+    def rpc_ctl_demote_cold(self, msg: Message) -> Generator:
+        """Move versions idle for >= ``age`` seconds to ``to_tier``;
+        returns the demoted (key, version) pairs."""
+        age, to_tier = msg.args["age"], msg.args["to_tier"]
+        bandwidth = msg.args.get("bandwidth")
+        now = self.sim.now
+        demoted = []
+        limiter = (BandwidthLink(self.sim, bandwidth) if bandwidth else None)
+        for record in list(self.meta.records()):
+            meta = record.latest()
+            if meta is None or now - meta.last_accessed < age:
+                continue
+            if meta.locations == {to_tier}:
+                continue
+            if limiter is not None:
+                yield from limiter.transmit(meta.stored_size or meta.size)
+            yield from self.move_version(record.key, meta.version, to_tier)
+            demoted.append((record.key, meta.version))
+        return {"demoted": demoted}
+
+    def rpc_ctl_adopt_remote_cold(self, msg: Message) -> Generator:
+        """Drop local bytes for the given versions and point their location
+        at a shared remote tier (the centralized cold store of §5.3)."""
+        tier_name = msg.args["tier"]
+        shared = self.tier(tier_name)
+        adopted = 0
+        for key, version in msg.args["objects"]:
+            record = self.meta.get_record(key)
+            if record is None or version not in record.versions:
+                continue
+            meta = record.versions[version]
+            skey = storage_key(key, version)
+            for loc in list(meta.locations):
+                backend = self.tiers.get(loc)
+                if backend is not None and loc != tier_name and skey in backend:
+                    yield from backend.delete(skey)
+                meta.locations.discard(loc)
+            if hasattr(shared, "mark_known"):
+                shared.mark_known(skey)
+            meta.locations.add(tier_name)
+            adopted += 1
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        return {"adopted": adopted}
+
+    def __repr__(self) -> str:
+        return (f"<TieraInstance {self.instance_id}@{self.region} "
+                f"policy={self.policy.name} tiers={list(self.tiers)}>")

@@ -1,0 +1,52 @@
+"""Default (single-instance) consistency protocol.
+
+A bare Tiera instance has no replication: puts create a local version,
+gets read the local latest.  Wiera's global protocols
+(:mod:`repro.core.consistency`) implement the same duck-typed interface
+and are attached by the Tiera Instance Manager at spawn time.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+
+class LocalOnlyProtocol:
+    """No replication; everything is local."""
+
+    name = "local"
+
+    def attach(self, instance) -> None:
+        self.instance = instance
+
+    def detach(self, instance) -> None:
+        pass
+
+    def on_put(self, instance, key: str, data: bytes, tags=(),
+               src: str = "app") -> Generator:
+        version = yield from instance.local_put(key, data, tags=tags)
+        return {"version": version, "region": instance.region}
+
+    def on_get(self, instance, key: str,
+               version: Optional[int] = None) -> Generator:
+        data, meta, record = yield from instance.read_version(key, version)
+        return {"data": data, "version": meta.version,
+                "latest_local": record.latest_version}
+
+    def on_replica_update(self, instance, args: dict) -> Generator:
+        raise RuntimeError("local-only instance received a replica update")
+        yield  # pragma: no cover
+
+    def on_replica_remove(self, instance, args: dict) -> Generator:
+        raise RuntimeError("local-only instance received a replica remove")
+        yield  # pragma: no cover
+
+    def on_remove(self, instance, key: str,
+                  version: Optional[int] = None) -> Generator:
+        removed = yield from instance.local_remove(key, version)
+        return {"removed": removed}
+
+    def drain(self, instance) -> Generator:
+        """Nothing queued in local mode."""
+        return
+        yield  # pragma: no cover

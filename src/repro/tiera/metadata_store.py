@@ -1,0 +1,113 @@
+"""BerkeleyDB-substitute metadata store.
+
+The paper persists all object metadata in BerkeleyDB.  We provide the same
+role: an ordered key/value store with prefix cursors and JSON
+checkpoint/restore, holding :class:`~repro.tiera.objects.ObjectRecord`
+entries (and any other instance state a policy wants durable).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+from repro.tiera.objects import ObjectRecord
+
+
+class MetadataStore:
+    """Sorted in-memory KV store with prefix scans and JSON persistence."""
+
+    def __init__(self, path: Optional[str | Path] = None):
+        self._data: dict[str, Any] = {}
+        self._sorted_keys: list[str] = []
+        self._keys_dirty = False
+        self.path = Path(path) if path else None
+        if self.path and self.path.exists():
+            self.load()
+
+    # -- basic KV ---------------------------------------------------------
+    def put(self, key: str, value: Any) -> None:
+        if key not in self._data:
+            self._keys_dirty = True
+        self._data[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def delete(self, key: str) -> None:
+        if self._data.pop(key, None) is not None:
+            self._keys_dirty = True
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def _keys(self) -> list[str]:
+        if self._keys_dirty:
+            self._sorted_keys = sorted(self._data)
+            self._keys_dirty = False
+        return self._sorted_keys
+
+    def cursor(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        """Iterate (key, value) pairs with keys starting with ``prefix``,
+        in key order — the BerkeleyDB btree-cursor idiom."""
+        keys = self._keys()
+        start = bisect.bisect_left(keys, prefix)
+        for i in range(start, len(keys)):
+            key = keys[i]
+            if not key.startswith(prefix):
+                break
+            if key in self._data:  # tolerate deletion during iteration
+                yield key, self._data[key]
+
+    # -- object records ---------------------------------------------------
+    _OBJ_PREFIX = "obj/"
+
+    def put_record(self, record: ObjectRecord) -> None:
+        self.put(self._OBJ_PREFIX + record.key, record)
+
+    def get_record(self, key: str) -> Optional[ObjectRecord]:
+        return self.get(self._OBJ_PREFIX + key)
+
+    def delete_record(self, key: str) -> None:
+        self.delete(self._OBJ_PREFIX + key)
+
+    def records(self) -> Iterator[ObjectRecord]:
+        for _, value in self.cursor(self._OBJ_PREFIX):
+            yield value
+
+    def record_count(self) -> int:
+        return sum(1 for _ in self.cursor(self._OBJ_PREFIX))
+
+    # -- persistence -----------------------------------------------------------
+    def checkpoint(self, path: Optional[str | Path] = None) -> Path:
+        """Serialize to JSON.  ObjectRecords round-trip; other values must
+        be JSON-encodable."""
+        target = Path(path) if path else self.path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        payload = {}
+        for key, value in self._data.items():
+            if isinstance(value, ObjectRecord):
+                payload[key] = {"__record__": value.to_dict()}
+            else:
+                payload[key] = value
+        target.write_text(json.dumps(payload))
+        return target
+
+    def load(self, path: Optional[str | Path] = None) -> None:
+        source = Path(path) if path else self.path
+        if source is None:
+            raise ValueError("no checkpoint path configured")
+        payload = json.loads(source.read_text())
+        self._data.clear()
+        for key, value in payload.items():
+            if isinstance(value, dict) and "__record__" in value:
+                self._data[key] = ObjectRecord.from_dict(value["__record__"])
+            else:
+                self._data[key] = value
+        self._keys_dirty = True

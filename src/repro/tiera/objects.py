@@ -1,0 +1,129 @@
+"""Tiera/Wiera object data model.
+
+Objects are uninterpreted byte sequences addressed by a globally unique
+key.  They are immutable: a "modification" creates a new *version* (the
+Wiera extension of §3.2.1).  Each version carries the metadata attributes
+the paper lists — size, access count, dirty bit, created/modified/accessed
+times, and the set of tiers currently holding its bytes — plus an encoding
+chain recording compress/encrypt transformations.  Objects (not versions)
+carry the application-assigned *tags* used to define object classes for
+policies (e.g. a "tmp" tag routed to volatile storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def storage_key(key: str, version: int) -> str:
+    """The key under which one version's bytes live inside a tier."""
+    return f"{key}#v{version}"
+
+
+@dataclass
+class VersionMeta:
+    """Metadata for one immutable version of an object."""
+
+    version: int
+    size: int
+    created_at: float
+    last_modified: float
+    last_accessed: float
+    access_count: int = 0
+    dirty: bool = False
+    locations: set[str] = field(default_factory=set)
+    encodings: tuple[str, ...] = ()   # applied transforms, outermost last
+    stored_size: int = 0              # on-tier size after transforms
+    origin: str = ""                  # region/instance that created it
+
+    def touch(self, now: float) -> None:
+        self.last_accessed = now
+        self.access_count += 1
+
+    def newer_than(self, other: "VersionMeta") -> bool:
+        """Last-write-wins ordering used for conflict resolution (§4.2)."""
+        if self.version != other.version:
+            return self.version > other.version
+        return self.last_modified > other.last_modified
+
+    def to_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "size": self.size,
+            "created_at": self.created_at,
+            "last_modified": self.last_modified,
+            "last_accessed": self.last_accessed,
+            "access_count": self.access_count,
+            "dirty": self.dirty,
+            "locations": sorted(self.locations),
+            "encodings": list(self.encodings),
+            "stored_size": self.stored_size,
+            "origin": self.origin,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "VersionMeta":
+        return cls(
+            version=d["version"], size=d["size"], created_at=d["created_at"],
+            last_modified=d["last_modified"], last_accessed=d["last_accessed"],
+            access_count=d.get("access_count", 0), dirty=d.get("dirty", False),
+            locations=set(d.get("locations", ())),
+            encodings=tuple(d.get("encodings", ())),
+            stored_size=d.get("stored_size", 0), origin=d.get("origin", ""))
+
+    def wire_summary(self) -> dict:
+        """Fields shipped alongside replica updates for conflict handling."""
+        return {"version": self.version, "last_modified": self.last_modified,
+                "size": self.size, "origin": self.origin}
+
+
+@dataclass
+class ObjectRecord:
+    """All versions and object-level metadata for one key."""
+
+    key: str
+    versions: dict[int, VersionMeta] = field(default_factory=dict)
+    tags: set[str] = field(default_factory=set)
+    latest_version: int = 0
+
+    def has_version(self, version: int) -> bool:
+        return version in self.versions
+
+    def latest(self) -> Optional[VersionMeta]:
+        if self.latest_version and self.latest_version in self.versions:
+            return self.versions[self.latest_version]
+        return max(self.versions.values(), key=lambda m: m.version, default=None)
+
+    def version_list(self) -> list[int]:
+        return sorted(self.versions)
+
+    def add_version(self, meta: VersionMeta) -> None:
+        self.versions[meta.version] = meta
+        if meta.version > self.latest_version:
+            self.latest_version = meta.version
+
+    def drop_version(self, version: int) -> VersionMeta:
+        meta = self.versions.pop(version)
+        if version == self.latest_version:
+            self.latest_version = max(self.versions, default=0)
+        return meta
+
+    def next_version(self) -> int:
+        return self.latest_version + 1
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "tags": sorted(self.tags),
+            "latest_version": self.latest_version,
+            "versions": {str(v): m.to_dict() for v, m in self.versions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ObjectRecord":
+        rec = cls(key=d["key"], tags=set(d.get("tags", ())),
+                  latest_version=d.get("latest_version", 0))
+        for v, meta in d.get("versions", {}).items():
+            rec.versions[int(v)] = VersionMeta.from_dict(meta)
+        return rec

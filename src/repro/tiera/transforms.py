@@ -1,0 +1,62 @@
+"""Byte transformations for the compress/encrypt responses.
+
+Transforms are named, composable and reversible; a version's metadata
+records its encoding chain so the read path can decode in reverse order.
+Encryption is a keyed XOR keystream (SHA-256 in counter mode) — not meant
+to be cryptographically reviewed, but it is a real, key-dependent,
+invertible transformation over the stored bytes, which is what the policy
+mechanism needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+
+class TransformError(RuntimeError):
+    pass
+
+
+def _keystream(key: str, nbytes: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    seed = key.encode()
+    while len(out) < nbytes:
+        out.extend(hashlib.sha256(seed + counter.to_bytes(8, "little")).digest())
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def encode(name: str, data: bytes, keyring: dict[str, str] | None = None,
+           level: int = 6) -> bytes:
+    """Apply transform ``name`` ("zlib" or "xor:<key_id>")."""
+    if name == "zlib":
+        return zlib.compress(data, level)
+    if name.startswith("xor:"):
+        key_id = name.split(":", 1)[1]
+        secret = (keyring or {}).get(key_id)
+        if secret is None:
+            raise TransformError(f"no key {key_id!r} in keyring")
+        stream = _keystream(secret, len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+    raise TransformError(f"unknown transform {name!r}")
+
+
+def decode(name: str, data: bytes, keyring: dict[str, str] | None = None) -> bytes:
+    if name == "zlib":
+        try:
+            return zlib.decompress(data)
+        except zlib.error as exc:
+            raise TransformError(f"corrupt zlib payload: {exc}") from exc
+    if name.startswith("xor:"):
+        return encode(name, data, keyring)  # XOR is its own inverse
+    raise TransformError(f"unknown transform {name!r}")
+
+
+def decode_chain(encodings: tuple[str, ...], data: bytes,
+                 keyring: dict[str, str] | None = None) -> bytes:
+    """Undo a full encoding chain (outermost transform last in the tuple)."""
+    for name in reversed(encodings):
+        data = decode(name, data, keyring)
+    return data

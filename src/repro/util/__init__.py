@@ -1,0 +1,39 @@
+"""Shared utilities: unit parsing, deterministic RNG streams, statistics."""
+
+from repro.util.units import (
+    parse_size,
+    parse_duration,
+    parse_bandwidth,
+    format_size,
+    format_duration,
+    KB,
+    MB,
+    GB,
+    TB,
+    MS,
+    SECOND,
+    MINUTE,
+    HOUR,
+)
+from repro.util.rng import RngRegistry
+from repro.util.stats import LatencyRecorder, OnlineStats, percentile
+
+__all__ = [
+    "parse_size",
+    "parse_duration",
+    "parse_bandwidth",
+    "format_size",
+    "format_duration",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "MS",
+    "SECOND",
+    "MINUTE",
+    "HOUR",
+    "RngRegistry",
+    "LatencyRecorder",
+    "OnlineStats",
+    "percentile",
+]

@@ -1,0 +1,93 @@
+"""Lightweight statistics helpers used by monitors and the bench harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (q in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    data = sorted(samples)
+    if len(data) == 1:
+        return data[0]
+    pos = (q / 100.0) * (len(data) - 1)
+    lo = int(math.floor(pos))
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] * (1 - frac) + data[hi] * frac
+
+
+class OnlineStats:
+    """Welford online mean/variance plus min/max, O(1) memory."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def add(self, x: float) -> None:
+        self.count += 1
+        delta = x - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (x - self._mean)
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+@dataclass
+class LatencyRecorder:
+    """Timestamped latency samples, with windowed and aggregate views.
+
+    Used both by experiment harnesses (to build the figures' time series)
+    and by Wiera's latency monitor (to evaluate threshold violations over a
+    sliding window, as in the DynamicConsistency policy).
+    """
+
+    name: str = "latency"
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    def record(self, t: float, latency: float, label: str = "") -> None:
+        self.times.append(t)
+        self.values.append(latency)
+        self.labels.append(label)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def window(self, start: float, end: float) -> list[float]:
+        """Samples recorded in the half-open time interval [start, end)."""
+        return [v for t, v in zip(self.times, self.values) if start <= t < end]
+
+    def filtered(self, label: str) -> "LatencyRecorder":
+        out = LatencyRecorder(name=f"{self.name}[{label}]")
+        for t, v, lbl in zip(self.times, self.values, self.labels):
+            if lbl == label:
+                out.record(t, v, lbl)
+        return out
+
+    def series(self) -> list[tuple[float, float]]:
+        return list(zip(self.times, self.values))

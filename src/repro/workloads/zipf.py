@@ -1,0 +1,91 @@
+"""Zipfian key choosers, after YCSB's generators.
+
+Internet-service access patterns "typically conform to a Zipfian
+distribution" (§3.3.3, citing Facebook); YCSB's workloads draw keys from a
+Zipfian over the record space, *scrambled* by a hash so popular records are
+spread across the keyspace rather than clustered at the low ids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an int's 8 little-endian bytes (YCSB's scrambler)."""
+    h = _FNV_OFFSET
+    for byte in value.to_bytes(8, "little"):
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+class Zipfian:
+    """Zipf(theta) over [0, n).  Uses the Gray/YCSB rejection-free method."""
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: np.random.Generator | None = None):
+        if n < 1:
+            raise ValueError("Zipfian needs at least one item")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self.rng = rng or np.random.default_rng(0)
+        self.zeta_n = self._zeta(n, theta)
+        self.zeta_2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = ((1 - (2.0 / n) ** (1 - theta))
+                    / (1 - self.zeta_2 / self.zeta_n))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        return float(np.sum(1.0 / ranks ** theta))
+
+    def next(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zeta_n
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+    def sample(self, k: int) -> np.ndarray:
+        return np.array([self.next() for _ in range(k)], dtype=np.int64)
+
+
+class ScrambledZipfian:
+    """Zipfian ranks hashed across the item space (YCSB default)."""
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: np.random.Generator | None = None):
+        self.n = n
+        self._zipf = Zipfian(n, theta, rng)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.n
+
+    def sample(self, k: int) -> np.ndarray:
+        return np.array([self.next() for _ in range(k)], dtype=np.int64)
+
+
+class Uniform:
+    """Uniform key chooser with the same interface."""
+
+    def __init__(self, n: int, rng: np.random.Generator | None = None):
+        if n < 1:
+            raise ValueError("Uniform needs at least one item")
+        self.n = n
+        self.rng = rng or np.random.default_rng(0)
+
+    def next(self) -> int:
+        return int(self.rng.integers(0, self.n))
+
+    def sample(self, k: int) -> np.ndarray:
+        return self.rng.integers(0, self.n, size=k)

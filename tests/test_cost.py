@@ -1,0 +1,116 @@
+"""Tests for the Table 4 cost model and runtime ledger."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import CostLedger, make_tier, monthly_storage_cost
+from repro.storage.cost import (
+    HOURS_PER_MONTH,
+    migration_savings,
+    network_cost,
+    price_for,
+    request_cost,
+)
+from repro.util.units import GB, HOUR, TB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def run(sim, gen):
+    proc = sim.process(gen)
+    return sim.run(until=proc)
+
+
+COLD_8TB = 8000 * GB  # the paper's arithmetic uses decimal terabytes
+
+
+class TestStaticArithmetic:
+    def test_paper_sec53_ssd_saving(self):
+        """8 TB from EBS SSD to S3-IA saves $700/month (the paper's number)."""
+        assert migration_savings(COLD_8TB, "ebs_ssd", "s3_ia") == pytest.approx(
+            8000 * (0.10 - 0.0125))
+        assert migration_savings(COLD_8TB, "ebs_ssd", "s3_ia") == pytest.approx(
+            700.0, abs=1.0)
+
+    def test_paper_sec53_hdd_saving(self):
+        assert migration_savings(COLD_8TB, "ebs_hdd", "s3_ia") == pytest.approx(
+            300.0, abs=1.0)
+
+    def test_centralization_saving(self):
+        """Dropping 3 of 4 cold replicas saves ~$100/region (paper §5.3)."""
+        per_region = monthly_storage_cost("s3_ia", COLD_8TB)
+        assert per_region == pytest.approx(100.0, abs=0.5)
+
+    def test_request_cost(self):
+        assert request_cost("s3_ia", puts=20_000) == pytest.approx(0.2)
+        assert request_cost("ebs_ssd", puts=10**6, gets=10**6) == 0.0
+
+    def test_network_cost_scopes(self):
+        assert network_cost(10 * GB, "intra_dc") == 0.0
+        assert network_cost(10 * GB, "inter_region") == pytest.approx(0.2)
+        assert network_cost(10 * GB, "internet") == pytest.approx(0.9)
+        with pytest.raises(KeyError):
+            network_cost(1, "interplanetary")
+
+    def test_unknown_tier(self):
+        with pytest.raises(KeyError):
+            price_for("tape")
+
+
+class TestLedger:
+    def test_storage_integration(self, sim):
+        ledger = CostLedger(sim)
+        tier = make_tier(sim, "ebs_ssd", 10 * GB, ledger=ledger,
+                         region="us-east")
+        tier.preload("k", b"x" * GB)
+        sim.run(until=HOURS_PER_MONTH * HOUR)  # one billing month
+        ledger.finalize([tier])
+        # 1 GB on SSD for one month = $0.10
+        assert ledger.storage_dollars() == pytest.approx(0.10, rel=0.01)
+
+    def test_requests_billed(self, sim):
+        ledger = CostLedger(sim)
+        tier = make_tier(sim, "s3", None, ledger=ledger)
+        for i in range(100):
+            run(sim, tier.write(f"k{i}", b"x"))
+        for i in range(100):
+            run(sim, tier.read(f"k{i}"))
+        expected = 0.05 * 100 / 10_000 + 0.004 * 100 / 10_000
+        assert ledger.request_dollars() == pytest.approx(expected)
+
+    def test_network_accounting(self, sim):
+        ledger = CostLedger(sim)
+        ledger.record_network(5 * GB, "inter_region")
+        ledger.record_network(1 * GB, "internet")
+        assert ledger.network_dollars() == pytest.approx(0.02 * 5 + 0.09)
+
+    def test_breakdown_totals(self, sim):
+        ledger = CostLedger(sim)
+        ledger.record_network(1 * GB, "internet")
+        breakdown = ledger.breakdown()
+        assert breakdown["total"] == pytest.approx(
+            breakdown["storage"] + breakdown["requests"]
+            + breakdown["network"])
+
+    def test_migration_lowers_bill(self, sim):
+        """Moving bytes SSD -> S3-IA mid-period reduces the ongoing rate."""
+        ledger = CostLedger(sim)
+        ssd = make_tier(sim, "ebs_ssd", 10 * GB, ledger=ledger)
+        ia = make_tier(sim, "s3_ia", None, ledger=ledger)
+        ssd.preload("k", b"x" * GB)
+        sim.run(until=100 * HOUR)
+        ledger.record_usage(ssd)
+        first_period = ledger.storage_dollars()
+
+        def migrate():
+            data = yield from ssd.read("k")
+            yield from ia.write("k", data)
+            yield from ssd.delete("k")
+        run(sim, migrate())
+        sim.run(until=200 * HOUR)
+        ledger.finalize([ssd, ia])
+        second_period = ledger.storage_dollars() - first_period
+        assert second_period < first_period * 0.2

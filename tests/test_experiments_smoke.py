@@ -1,0 +1,56 @@
+"""Smoke tests for the fast experiment implementations.
+
+The full benchmarks live under ``benchmarks/``; these quick checks make
+``pytest tests/`` exercise the experiment code paths too (scaled down
+where the full run is long).
+"""
+
+import pytest
+
+from repro.bench.experiments.fig9_tier_latency import run_fig9
+from repro.bench.experiments.sec53_cold_cost import run_sec53
+from repro.bench.experiments.fig10_centralized_cold import run_fig10
+
+
+class TestFig9Smoke:
+    def test_ordering_holds_at_small_scale(self):
+        result, report = run_fig9(ops=20)
+        assert result.get_ms["ebs_ssd"] < result.get_ms["ebs_hdd"]
+        assert result.get_ms["ebs_hdd"] < result.get_ms["s3"]
+        assert len(report.rows) == 4
+
+    def test_larger_objects_slower(self):
+        small, _ = run_fig9(object_size=4 * 1024, ops=10)
+        large, _ = run_fig9(object_size=4 * 1024 * 1024, ops=10)
+        for tier in ("ebs_ssd", "s3"):
+            assert large.get_ms[tier] > small.get_ms[tier]
+
+
+class TestSec53Smoke:
+    def test_dollar_arithmetic(self):
+        result, report = run_sec53()
+        assert result.ssd_saving == pytest.approx(700.0, abs=1.0)
+        assert result.hdd_saving == pytest.approx(300.0, abs=1.0)
+        assert result.centralize_saving == pytest.approx(300.0, abs=1.0)
+        assert result.demoted == 80
+
+
+class TestFig10Smoke:
+    def test_regions_ordered_by_distance(self):
+        result, report = run_fig10(ops=10)
+        assert (result.get_ms["us-east"] < result.get_ms["us-west"]
+                < result.get_ms["asia-east"])
+        assert len(report.rows) == 4
+
+
+class TestDeterminism:
+    def test_fig9_bitwise_reproducible(self):
+        a, _ = run_fig9(ops=15, seed=5)
+        b, _ = run_fig9(ops=15, seed=5)
+        assert a.put_ms == b.put_ms
+        assert a.get_ms == b.get_ms
+
+    def test_fig9_seed_changes_jitter(self):
+        a, _ = run_fig9(ops=15, seed=5)
+        b, _ = run_fig9(ops=15, seed=6)
+        assert a.put_ms != b.put_ms

@@ -1,0 +1,138 @@
+"""Tests for get-load balancing (RequestsMonitoring + forward, §3.2.3)."""
+
+import pytest
+
+from repro import GlobalPolicySpec, RegionPlacement, build_deployment
+from repro.core import LoadBalanceSpec
+from repro.net import EU_WEST, US_EAST, US_WEST
+from repro.tiera.policy import memory_only_policy
+
+REGIONS = (US_EAST, US_WEST, EU_WEST)
+
+
+def deploy(lb=None):
+    dep = build_deployment(REGIONS, seed=23)
+    spec = GlobalPolicySpec(
+        name="lb",
+        placements=tuple(RegionPlacement(r, memory_only_policy())
+                         for r in REGIONS),
+        consistency="multi_primaries",
+        load_balance=lb)
+    instances = dep.start_wiera_instance("lb", spec)
+    return dep, instances
+
+
+def seed_key(dep, instances):
+    client = dep.add_client(US_EAST, instances=instances, name="seeder")
+
+    def seed():
+        yield from client.put("hot", b"payload" * 64)
+    dep.drive(seed())
+
+
+class TestRedirectMechanism:
+    def test_manual_redirect_forwards_fraction(self):
+        dep, instances = deploy()
+        seed_key(dep, instances)
+        tim = dep.tim("lb")
+        east = dep.instance("lb", US_EAST)
+        west_id = next(iid for iid, rec in tim.instances.items()
+                       if rec.region == US_WEST)
+
+        def install():
+            yield tim.node.call(east.node, "ctl_set_redirect",
+                                {"peer": west_id, "fraction": 1.0})
+        dep.drive(install())
+        client = dep.add_client(US_EAST, instances=instances, name="reader")
+
+        def read():
+            result = yield from client.get("hot")
+            return result
+        result = dep.drive(read())
+        assert result["data"] == b"payload" * 64
+        assert east.redirected_gets == 1
+        # the redirected read paid the WAN trip to US West
+        assert result["latency"] > 0.06
+
+    def test_clearing_redirect(self):
+        dep, instances = deploy()
+        seed_key(dep, instances)
+        east = dep.instance("lb", US_EAST)
+        east.get_redirect = ("whatever", 1.0)
+
+        def clear():
+            yield east.node.call(east.node, "ctl_set_redirect",
+                                 {"peer": None})
+        dep.drive(clear())
+        assert east.get_redirect is None
+
+
+class TestLoadBalancerMonitor:
+    def test_overload_installs_then_clears(self):
+        lb = LoadBalanceSpec(threshold_rps=20.0, clear_rps=5.0,
+                             shed_fraction=0.5, window=5.0,
+                             check_interval=2.0)
+        dep, instances = deploy(lb)
+        seed_key(dep, instances)
+        tim = dep.tim("lb")
+        east = dep.instance("lb", US_EAST)
+        balancer = next(m for m in tim.monitors
+                        if type(m).__name__ == "LoadBalancer")
+        client = dep.add_client(US_EAST, instances=instances, name="hammer")
+
+        # 50 gets/s at the east instance for 20 seconds
+        stop_at = dep.sim.now + 20.0
+
+        def hammer():
+            while dep.sim.now < stop_at:
+                yield from client.get("hot")
+                yield dep.sim.timeout(0.02)
+        proc = dep.sim.process(hammer())
+        dep.sim.run(until=proc)
+        assert balancer.redirects_installed >= 1
+        assert east.redirected_gets > 0
+        # after the storm, the redirect is removed (hysteresis)
+        dep.sim.run(until=dep.sim.now + 30.0)
+        assert east.get_redirect is None
+        assert balancer.redirects_cleared >= 1
+
+    def test_no_redirect_below_threshold(self):
+        lb = LoadBalanceSpec(threshold_rps=100.0, window=5.0,
+                             check_interval=2.0)
+        dep, instances = deploy(lb)
+        seed_key(dep, instances)
+        client = dep.add_client(US_EAST, instances=instances, name="calm")
+
+        def trickle():
+            for _ in range(20):
+                yield from client.get("hot")
+                yield dep.sim.timeout(1.0)
+        dep.drive(trickle())
+        east = dep.instance("lb", US_EAST)
+        assert east.get_redirect is None
+        assert east.redirected_gets == 0
+
+    def test_no_shed_when_all_hot(self):
+        """No peer with headroom -> no redirect (shedding would just move
+        the overload around)."""
+        lb = LoadBalanceSpec(threshold_rps=10.0, window=5.0,
+                             check_interval=2.0, peer_headroom=0.5)
+        dep, instances = deploy(lb)
+        seed_key(dep, instances)
+        clients = [dep.add_client(r, instances=instances, name=f"h-{r}")
+                   for r in REGIONS]
+        stop_at = dep.sim.now + 15.0
+
+        def hammer(c):
+            while dep.sim.now < stop_at:
+                try:
+                    yield from c.get("hot")
+                except Exception:
+                    pass
+                yield dep.sim.timeout(0.03)
+        procs = [dep.sim.process(hammer(c)) for c in clients]
+        dep.sim.run(until=dep.sim.all_of(procs))
+        tim = dep.tim("lb")
+        balancer = next(m for m in tim.monitors
+                        if type(m).__name__ == "LoadBalancer")
+        assert balancer.redirects_installed == 0

@@ -1,0 +1,97 @@
+"""Bandwidth contention and throughput-limit behaviours."""
+
+import pytest
+
+from repro.net import Network, US_EAST, US_WEST
+from repro.sim import Simulator
+from repro.sim.rpc import RpcNode
+from repro.util.units import KB, MB
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEgressContention:
+    def test_bulk_transfer_delays_foreground_rpc(self, sim):
+        """A big replication transfer queues behind the same egress link,
+        delaying a small foreground message — the physical reason the
+        paper caps policy copies with ``bandwidth:`` limits."""
+        net = Network(sim)
+        src = net.add_host("src", US_EAST, vm="aws.t2_micro")
+        dst = net.add_host("dst", US_WEST, vm="aws.t2_micro")
+        src.egress.rate = 1 * MB  # easy arithmetic
+        a = RpcNode(sim, net, src, name="a")
+        b = RpcNode(sim, net, dst, name="b")
+
+        def noop(msg):
+            yield sim.timeout(0.0)
+        b.register("noop", noop)
+
+        done = {}
+
+        def bulk():
+            yield from net.transmit(src, dst, 2 * MB)  # 2 s on the wire
+            done["bulk"] = sim.now
+
+        def ping():
+            yield sim.timeout(0.01)  # starts while bulk is transmitting
+            yield a.call(b, "noop")
+            done["ping"] = sim.now
+
+        sim.process(bulk())
+        sim.process(ping())
+        sim.run()
+        # the ping's request waited for the bulk transfer's serialization
+        assert done["ping"] > 2.0
+        assert done["bulk"] > 2.0
+
+    def test_transfers_on_different_hosts_independent(self, sim):
+        net = Network(sim)
+        a1 = net.add_host("a1", US_EAST, vm="aws.t2_micro")
+        a2 = net.add_host("a2", US_EAST, vm="aws.t2_micro")
+        dst = net.add_host("d", US_WEST)
+        a1.egress.rate = 1 * MB
+        a2.egress.rate = 1 * MB
+        done = {}
+
+        def send(tag, host):
+            yield from net.transmit(host, dst, 1 * MB)
+            done[tag] = sim.now
+
+        sim.process(send("one", a1))
+        sim.process(send("two", a2))
+        sim.run()
+        # parallel links: both finish ~1 s + propagation, not 2 s
+        assert done["one"] < 1.2 and done["two"] < 1.2
+
+
+class TestThroughputCaps:
+    def test_sustained_rate_limited_by_egress(self, sim):
+        net = Network(sim)
+        src = net.add_host("s", US_EAST)
+        dst = net.add_host("d", US_WEST)
+        src.egress.rate = 512 * KB
+
+        def sender():
+            for _ in range(16):
+                yield from net.transmit(src, dst, 64 * KB)
+        proc = sim.process(sender())
+        sim.run(until=proc)
+        # 1 MB at 512 KB/s = 2 s of serialization, plus 16 sequential
+        # propagation delays (the sender waits for each delivery)
+        assert sim.now == pytest.approx(2.0 + 16 * 0.035, rel=0.05)
+        assert net.bytes_transferred == 16 * 64 * KB
+
+    def test_message_counter(self, sim):
+        net = Network(sim)
+        src = net.add_host("s", US_EAST)
+        dst = net.add_host("d", US_WEST)
+
+        def sender():
+            yield from net.transmit(src, dst, 10)
+            yield from net.transmit(src, dst, 10)
+        proc = sim.process(sender())
+        sim.run(until=proc)
+        assert net.messages_sent == 2

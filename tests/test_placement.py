@@ -1,0 +1,132 @@
+"""Tests for the workload monitor and automated placement advisor."""
+
+import pytest
+
+from repro import GlobalPolicySpec, RegionPlacement, build_deployment
+from repro.core import DataPlacementAdvisor, WorkloadMonitor
+from repro.net import ASIA_EAST, EU_WEST, US_EAST, US_WEST
+from repro.tiera.policy import memory_only_policy
+
+REGIONS = (US_EAST, US_WEST, EU_WEST, ASIA_EAST)
+
+
+def deploy(consistency="eventual", **kwargs):
+    dep = build_deployment(REGIONS, seed=17)
+    spec = GlobalPolicySpec(
+        name="pl",
+        placements=tuple(
+            RegionPlacement(r, memory_only_policy(),
+                            primary=(i == 0)) for i, r in enumerate(REGIONS)),
+        consistency=consistency, **kwargs)
+    instances = dep.start_wiera_instance("pl", spec)
+    return dep, instances
+
+
+def hammer(dep, instances, region, ops, key_prefix=""):
+    client = dep.add_client(region, instances=instances,
+                            name=f"load-{region}-{key_prefix}")
+
+    def run():
+        for i in range(ops):
+            yield from client.put(f"{key_prefix}{region}-{i}", b"v" * 128)
+            try:
+                yield from client.get(f"{key_prefix}{region}-{i}")
+            except Exception:
+                pass  # async replication may not have landed locally yet
+    dep.drive(run())
+
+
+class TestWorkloadMonitor:
+    def test_polling_aggregates_demand(self):
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        hammer(dep, instances, EU_WEST, 30)
+        hammer(dep, instances, US_WEST, 5)
+        dep.drive(monitor.poll_once())
+        demand = monitor.demand_by_region()
+        assert demand[EU_WEST] == 60      # 30 puts + 30 gets
+        assert demand[US_WEST] == 10
+        assert monitor.busiest_region() == EU_WEST
+
+    def test_deltas_not_cumulative(self):
+        dep, instances = deploy()
+        monitor = WorkloadMonitor(dep.tim("pl"), poll_interval=5.0)
+        hammer(dep, instances, EU_WEST, 10)
+        dep.drive(monitor.poll_once())
+        dep.drive(monitor.poll_once())  # no new traffic
+        assert monitor.snapshots[-1].total_requests == 0
+
+    def test_read_fraction(self):
+        dep, instances = deploy()
+        monitor = WorkloadMonitor(dep.tim("pl"), poll_interval=5.0)
+        hammer(dep, instances, US_EAST, 20)   # 1:1 put/get
+        dep.drive(monitor.poll_once())
+        assert monitor.read_fraction() == pytest.approx(0.5)
+
+    def test_background_polling(self):
+        dep, instances = deploy()
+        monitor = WorkloadMonitor(dep.tim("pl"), poll_interval=2.0)
+        monitor.start()
+        dep.sim.run(until=dep.sim.now + 11.0)
+        monitor.stop()
+        assert len(monitor.snapshots) >= 4
+
+
+class TestPlacementAdvisor:
+    def test_primary_follows_demand(self):
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        advisor = DataPlacementAdvisor(tim, monitor)
+        hammer(dep, instances, ASIA_EAST, 40)
+        hammer(dep, instances, EU_WEST, 3)
+        dep.drive(monitor.poll_once())
+        region, cost = advisor.best_primary()
+        assert region == ASIA_EAST
+        assert cost < advisor.weighted_put_latency(US_EAST,
+                                                   monitor.demand_by_region())
+
+    def test_replica_set_covers_demand(self):
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        advisor = DataPlacementAdvisor(tim, monitor)
+        hammer(dep, instances, ASIA_EAST, 30)
+        hammer(dep, instances, EU_WEST, 30)
+        dep.drive(monitor.poll_once())
+        replicas = advisor.replica_set(2)
+        assert set(replicas) == {ASIA_EAST, EU_WEST}
+
+    def test_consistency_suggestion_latency_goal(self):
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        hammer(dep, instances, US_EAST, 10)
+        dep.drive(monitor.poll_once())
+        relaxed = DataPlacementAdvisor(tim, monitor, latency_goal=5.0)
+        strict = DataPlacementAdvisor(tim, monitor, latency_goal=0.001)
+        assert relaxed.advise().suggested_consistency == "multi_primaries"
+        assert strict.advise().suggested_consistency == "eventual"
+
+    def test_apply_actuates_change_primary(self):
+        dep, instances = deploy(consistency="primary_backup",
+                                sync_replication=False, queue_interval=1.0)
+        tim = dep.tim("pl")
+        assert tim.protocol.config.primary_id.endswith(US_EAST)
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        advisor = DataPlacementAdvisor(tim, monitor)
+        hammer(dep, instances, ASIA_EAST, 40)
+        dep.drive(monitor.poll_once())
+        result = dep.drive(advisor.apply())
+        assert result["changed"]
+        assert tim.protocol.config.primary_id.endswith(ASIA_EAST)
+
+    def test_advice_with_no_demand(self):
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        advisor = DataPlacementAdvisor(tim, monitor)
+        advice = advisor.advise()
+        assert advice.primary_region in REGIONS
+        assert advice.demand == {}

@@ -1,0 +1,92 @@
+"""Tests for get-triggered rules: cache promotion of slow-tier objects."""
+
+import pytest
+
+from repro import build_deployment
+from repro.net import US_EAST
+from repro.policydsl import compile_policy
+from repro.util.units import KB, MS
+
+PROMOTING_POLICY = """
+Tiera PromotingInstance() {
+    tier1: {name: Memcached, size: 64M};
+    tier2: {name: S3, size: 10G};
+
+    event(insert.into) : response {
+        store(what: insert.object, to: tier2);
+    }
+
+    % reads served from the slow tier promote the object into the cache
+    event(get.from == tier2) : response {
+        copy(what: get.object, to: tier1);
+    }
+}
+"""
+
+
+@pytest.fixture
+def world():
+    dep = build_deployment([US_EAST], seed=41)
+    local = compile_policy(PROMOTING_POLICY)
+    from repro import GlobalPolicySpec, RegionPlacement
+    spec = GlobalPolicySpec(
+        name="promo",
+        placements=(RegionPlacement(US_EAST, local),),
+        consistency="local")
+    instances = dep.start_wiera_instance("promo", spec)
+    client = dep.add_client(US_EAST, instances=instances)
+    return dep, client
+
+
+def test_dsl_compiles_get_rule():
+    local = compile_policy(PROMOTING_POLICY)
+    rules = local.operation_rules("get")
+    assert len(rules) == 1
+    assert rules[0].event.tier == "tier2"
+
+
+def test_first_read_promotes_later_reads_fast(world):
+    dep, client = world
+
+    def app():
+        yield from client.put("doc", b"\x99" * (4 * KB))
+        first = yield from client.get("doc")     # served from S3
+        yield dep.sim.timeout(1.0)               # promotion runs async
+        second = yield from client.get("doc")    # served from memcached
+        return first["latency"], second["latency"]
+    first, second = dep.drive(app())
+    assert first > 10 * MS          # S3 service time (with jitter)
+    assert second < 5 * MS          # cache hit
+    inst = dep.instance("promo", US_EAST)
+    meta = inst.meta.get_record("doc").latest()
+    assert meta.locations == {"tier1", "tier2"}
+
+
+def test_promotion_does_not_delay_the_read(world):
+    dep, client = world
+
+    def app():
+        yield from client.put("doc", b"\x99" * (4 * KB))
+        t0 = dep.sim.now
+        yield from client.get("doc")
+        return dep.sim.now - t0
+    elapsed = dep.drive(app())
+    # the get returned at S3 speed; the copy into the cache happened in
+    # the background, not on the reply path
+    assert elapsed < 100 * MS
+
+
+def test_cached_reads_do_not_retrigger(world):
+    dep, client = world
+
+    def app():
+        yield from client.put("doc", b"\x99" * 100)
+        yield from client.get("doc")
+        yield dep.sim.timeout(1.0)
+        yield from client.get("doc")
+        yield dep.sim.timeout(1.0)
+    dep.drive(app())
+    inst = dep.instance("promo", US_EAST)
+    # the rule is tier-qualified: once cached, reads come from tier1 and
+    # the promotion rule no longer fires
+    assert inst.tier("tier1").writes == 1

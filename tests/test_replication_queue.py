@@ -1,0 +1,114 @@
+"""Unit tests for the lazy-replication queue (the ``queue`` response)."""
+
+import pytest
+
+from repro import GlobalPolicySpec, RegionPlacement, build_deployment
+from repro.core.consistency import ReplicationQueue
+from repro.net import EU_WEST, US_EAST, US_WEST
+from repro.tiera.policy import memory_only_policy
+
+REGIONS = (US_EAST, US_WEST, EU_WEST)
+
+
+@pytest.fixture
+def world():
+    dep = build_deployment(REGIONS, seed=29)
+    spec = GlobalPolicySpec(
+        name="q",
+        placements=tuple(RegionPlacement(r, memory_only_policy())
+                         for r in REGIONS),
+        consistency="eventual", queue_interval=1000.0)  # manual flushing
+    instances = dep.start_wiera_instance("q", spec)
+    return dep, instances
+
+
+def make_update(instance, dep, key, payload):
+    def put():
+        version = yield from instance.local_put(key, payload)
+        meta = instance.meta.get_record(key).versions[version]
+        return {"key": key, "version": version,
+                "last_modified": meta.last_modified,
+                "origin": instance.instance_id, "data": payload}
+    return dep.drive(put())
+
+
+class TestCoalescing:
+    def test_same_key_coalesces_to_newest(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=1000.0)
+        u1 = make_update(east, dep, "k", b"v1")
+        u2 = make_update(east, dep, "k", b"v2")
+        queue.enqueue(u1)
+        queue.enqueue(u2)
+        assert len(queue.pending) == 1
+        assert queue.coalesced == 1
+        assert queue.pending["k"]["version"] == u2["version"]
+
+    def test_distinct_keys_kept(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=1000.0)
+        queue.enqueue(make_update(east, dep, "a", b"1"))
+        queue.enqueue(make_update(east, dep, "b", b"2"))
+        assert len(queue.pending) == 2
+        assert queue.coalesced == 0
+
+
+class TestFlushAndDrain:
+    def test_flush_delivers_to_all_peers(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=1000.0)
+        queue.enqueue(make_update(east, dep, "k", b"payload"))
+
+        def flush():
+            yield from queue.flush()
+        dep.drive(flush())
+        assert queue.updates_sent == 2  # one per peer
+        for region in (US_WEST, EU_WEST):
+            peer = dep.instance("q", region)
+            assert peer.meta.get_record("k").latest_version >= 1
+
+    def test_flush_tolerates_dead_peer(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        dep.instance("q", EU_WEST).host.down = True
+        queue = ReplicationQueue(east, interval=1000.0)
+        queue.enqueue(make_update(east, dep, "k", b"payload"))
+
+        def flush():
+            yield from queue.flush()
+        dep.drive(flush())  # must not raise
+        assert queue.send_failures == 1
+        assert dep.instance("q", US_WEST).meta.get_record("k") is not None
+
+    def test_drain_empties_even_with_concurrent_enqueue(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=1000.0)
+        queue.enqueue(make_update(east, dep, "a", b"1"))
+
+        def drain():
+            yield from queue.drain()
+        dep.drive(drain())
+        assert len(queue.pending) == 0
+
+    def test_background_loop_flushes_periodically(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=2.0)
+        queue.start()
+        queue.enqueue(make_update(east, dep, "k", b"v"))
+        dep.sim.run(until=dep.sim.now + 5.0)
+        queue.stop()
+        assert queue.flushes >= 1
+        assert len(queue.pending) == 0
+
+    def test_stop_is_idempotent(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=2.0)
+        queue.start()
+        queue.stop()
+        queue.stop()

@@ -1,0 +1,283 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestEvents:
+    def test_event_lifecycle(self, sim):
+        ev = sim.event()
+        assert not ev.triggered and not ev.processed
+        ev.succeed(42)
+        assert ev.triggered
+        sim.run()
+        assert ev.processed
+        assert ev.value == 42
+
+    def test_event_value_before_trigger_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.fail(RuntimeError("nope"))
+
+    def test_fail_requires_exception(self, sim):
+        ev = sim.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_unhandled_failure_stops_simulation(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_defused_failure_is_silent(self, sim):
+        ev = sim.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        sim.run()  # no raise
+
+    def test_delayed_succeed(self, sim):
+        ev = sim.event()
+        ev.succeed("late", delay=5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self, sim):
+        t = sim.timeout(3.5, value="done")
+        sim.run()
+        assert sim.now == 3.5
+        assert t.value == "done"
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_run_until_time_stops_clock_exactly(self, sim):
+        sim.timeout(10.0)
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+
+    def test_run_until_past_raises(self, sim):
+        sim.timeout(1.0)
+        sim.run(until=2.0)
+        with pytest.raises(SimulationError):
+            sim.run(until=1.0)
+
+
+class TestProcesses:
+    def test_simple_process(self, sim):
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield sim.timeout(1.0)
+            trace.append(sim.now)
+            yield sim.timeout(2.0)
+            trace.append(sim.now)
+            return "finished"
+
+        p = sim.process(proc())
+        result = sim.run(until=p)
+        assert result == "finished"
+        assert trace == [0.0, 1.0, 3.0]
+
+    def test_process_is_event(self, sim):
+        def child():
+            yield sim.timeout(2.0)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        p = sim.process(parent())
+        assert sim.run(until=p) == 8
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(SimulationError):
+            sim.process(lambda: None)
+
+    def test_exception_propagates_to_waiter(self, sim):
+        def child():
+            yield sim.timeout(1.0)
+            raise KeyError("lost")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except KeyError:
+                return "caught"
+            return "not caught"
+
+        p = sim.process(parent())
+        assert sim.run(until=p) == "caught"
+
+    def test_unwaited_process_failure_raises(self, sim):
+        def bad():
+            yield sim.timeout(1.0)
+            raise RuntimeError("unobserved")
+
+        sim.process(bad())
+        with pytest.raises(RuntimeError, match="unobserved"):
+            sim.run()
+
+    def test_yield_non_event_raises_in_process(self, sim):
+        def bad():
+            yield 42
+
+        p = sim.process(bad())
+        with pytest.raises(SimulationError):
+            sim.run(until=p)
+
+    def test_wait_on_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed("early")
+        sim.run()
+
+        def late():
+            value = yield ev
+            return value
+
+        p = sim.process(late())
+        assert sim.run(until=p) == "early"
+
+    def test_interrupt(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+                return "slept"
+            except Interrupt as exc:
+                return f"interrupted:{exc.cause}"
+
+        p = sim.process(sleeper())
+
+        def killer():
+            yield sim.timeout(1.0)
+            p.interrupt("wakeup")
+
+        sim.process(killer())
+        assert sim.run(until=p) == "interrupted:wakeup"
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick():
+            yield sim.timeout(0.1)
+
+        p = sim.process(quick())
+        sim.run(until=p)
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+
+        def waiter():
+            values = yield sim.all_of([t1, t2])
+            return values
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_any_of_returns_first(self, sim):
+        t1 = sim.timeout(5.0, value="slow")
+        t2 = sim.timeout(1.0, value="fast")
+
+        def waiter():
+            index, value = yield sim.any_of([t1, t2])
+            return index, value
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == (1, "fast")
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        def waiter():
+            values = yield sim.all_of([])
+            return values
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == []
+
+    def test_all_of_failure_propagates(self, sim):
+        bad = sim.event()
+
+        def failer():
+            yield sim.timeout(1.0)
+            bad.fail(ValueError("child died"))
+
+        def waiter():
+            try:
+                yield sim.all_of([bad, sim.timeout(10.0)])
+            except ValueError:
+                return "failed"
+            return "ok"
+
+        sim.process(failer())
+        p = sim.process(waiter())
+        assert sim.run(until=p) == "failed"
+
+
+class TestDeterminism:
+    def test_fifo_tie_breaking(self, sim):
+        order = []
+        for tag in ("first", "second", "third"):
+            def proc(t=tag):
+                yield sim.timeout(1.0)
+                order.append(t)
+            sim.process(proc())
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_repeat_run_identical(self):
+        def build_and_run():
+            sim = Simulator()
+            trace = []
+
+            def worker(n):
+                for i in range(n):
+                    yield sim.timeout(0.5 * n)
+                    trace.append((sim.now, n, i))
+
+            for n in (1, 2, 3):
+                sim.process(worker(n))
+            sim.run()
+            return trace
+
+        assert build_and_run() == build_and_run()
+
+    def test_peek(self, sim):
+        assert sim.peek() == float("inf")
+        sim.timeout(4.0)
+        assert sim.peek() == 4.0
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.step()

@@ -1,0 +1,190 @@
+"""Unit tests for Store, Resource, SimLock and Gate."""
+
+import pytest
+
+from repro.sim import Gate, Resource, SimLock, Simulator, Store
+from repro.sim.kernel import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+
+        def main():
+            yield store.put("a")
+            item = yield store.get()
+            return item
+
+        p = sim.process(main())
+        assert sim.run(until=p) == "a"
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(2.0)
+            yield store.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(2.0, "x")]
+
+    def test_fifo_order(self, sim):
+        store = Store(sim)
+        order = []
+
+        def consumer(tag):
+            item = yield store.get()
+            order.append((tag, item))
+
+        sim.process(consumer("c1"))
+        sim.process(consumer("c2"))
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.process(producer())
+        sim.run()
+        assert order == [("c1", 1), ("c2", 2)]
+
+    def test_capacity_blocks_put(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put("a")
+            events.append(("put-a", sim.now))
+            yield store.put("b")
+            events.append(("put-b", sim.now))
+
+        def consumer():
+            yield sim.timeout(5.0)
+            item = yield store.get()
+            events.append(("got", item, sim.now))
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert events[0] == ("put-a", 0.0)
+        assert events[1] == ("got", "a", 5.0)
+        assert events[2] == ("put-b", 5.0)
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+class TestResource:
+    def test_capacity_enforced(self, sim):
+        res = Resource(sim, capacity=2)
+        active = []
+        peak = []
+
+        def worker(i):
+            yield res.request()
+            active.append(i)
+            peak.append(len(active))
+            yield sim.timeout(1.0)
+            active.remove(i)
+            res.release()
+
+        for i in range(5):
+            sim.process(worker(i))
+        sim.run()
+        assert max(peak) == 2
+        assert sim.now == pytest.approx(3.0)  # 5 jobs / 2 slots / 1s each
+
+    def test_release_without_request_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_queued_count(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield sim.timeout(10.0)
+            res.release()
+
+        def waiter():
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.run(until=1.0)
+        assert res.queued == 1
+
+
+class TestSimLock:
+    def test_mutual_exclusion(self, sim):
+        lock = SimLock(sim)
+        inside = []
+        overlap = []
+
+        def critical(i):
+            yield lock.acquire()
+            inside.append(i)
+            overlap.append(len(inside))
+            yield sim.timeout(1.0)
+            inside.remove(i)
+            lock.release()
+
+        for i in range(3):
+            sim.process(critical(i))
+        sim.run()
+        assert max(overlap) == 1
+        assert not lock.locked
+
+
+class TestGate:
+    def test_open_gate_passes_immediately(self, sim):
+        gate = Gate(sim)
+
+        def main():
+            yield gate.wait()
+            return sim.now
+
+        p = sim.process(main())
+        assert sim.run(until=p) == 0.0
+
+    def test_closed_gate_blocks_until_open(self, sim):
+        gate = Gate(sim, open_=False)
+        passed = []
+
+        def client(i):
+            yield gate.wait()
+            passed.append((i, sim.now))
+
+        for i in range(3):
+            sim.process(client(i))
+
+        def opener():
+            yield sim.timeout(4.0)
+            gate.open()
+
+        sim.process(opener())
+        sim.run()
+        assert passed == [(0, 4.0), (1, 4.0), (2, 4.0)]
+
+    def test_queued_counter(self, sim):
+        gate = Gate(sim, open_=False)
+        sim.process((lambda: (yield gate.wait()))())
+        sim.run(until=0.1)
+        assert gate.queued == 1
+        gate.open()
+        sim.run(until=0.2)
+        assert gate.queued == 0

@@ -1,0 +1,133 @@
+"""Tests for the versioned object data model and metadata store."""
+
+import pytest
+
+from repro.tiera import MetadataStore, ObjectRecord, VersionMeta, storage_key
+
+
+def meta(version, mtime=0.0):
+    return VersionMeta(version=version, size=10, created_at=0.0,
+                       last_modified=mtime, last_accessed=0.0)
+
+
+class TestVersionMeta:
+    def test_lww_higher_version_wins(self):
+        assert meta(2, 0.0).newer_than(meta(1, 99.0))
+        assert not meta(1, 99.0).newer_than(meta(2, 0.0))
+
+    def test_lww_same_version_newer_mtime_wins(self):
+        assert meta(3, 5.0).newer_than(meta(3, 4.0))
+        assert not meta(3, 4.0).newer_than(meta(3, 5.0))
+
+    def test_lww_identical_is_not_newer(self):
+        assert not meta(3, 5.0).newer_than(meta(3, 5.0))
+
+    def test_touch(self):
+        m = meta(1)
+        m.touch(42.0)
+        m.touch(43.0)
+        assert m.last_accessed == 43.0
+        assert m.access_count == 2
+
+    def test_roundtrip_dict(self):
+        m = VersionMeta(version=2, size=100, created_at=1.0,
+                        last_modified=2.0, last_accessed=3.0,
+                        access_count=7, dirty=True,
+                        locations={"tier1", "tier2"},
+                        encodings=("zlib",), stored_size=60, origin="i1")
+        again = VersionMeta.from_dict(m.to_dict())
+        assert again == m
+
+
+class TestObjectRecord:
+    def test_add_and_latest(self):
+        rec = ObjectRecord(key="k")
+        rec.add_version(meta(1))
+        rec.add_version(meta(3))
+        rec.add_version(meta(2))
+        assert rec.latest_version == 3
+        assert rec.latest().version == 3
+        assert rec.version_list() == [1, 2, 3]
+
+    def test_drop_latest_falls_back(self):
+        rec = ObjectRecord(key="k")
+        for v in (1, 2, 3):
+            rec.add_version(meta(v))
+        rec.drop_version(3)
+        assert rec.latest_version == 2
+        rec.drop_version(2)
+        rec.drop_version(1)
+        assert rec.latest() is None
+
+    def test_next_version_monotonic(self):
+        rec = ObjectRecord(key="k")
+        assert rec.next_version() == 1
+        rec.add_version(meta(5))
+        assert rec.next_version() == 6
+
+    def test_roundtrip_dict(self):
+        rec = ObjectRecord(key="k", tags={"tmp"})
+        rec.add_version(meta(1))
+        again = ObjectRecord.from_dict(rec.to_dict())
+        assert again.key == "k" and again.tags == {"tmp"}
+        assert again.version_list() == [1]
+
+    def test_storage_key_format(self):
+        assert storage_key("photo", 3) == "photo#v3"
+
+
+class TestMetadataStore:
+    def test_basic_kv(self):
+        store = MetadataStore()
+        store.put("a", 1)
+        assert store.get("a") == 1
+        assert "a" in store and len(store) == 1
+        store.delete("a")
+        assert store.get("a") is None
+
+    def test_cursor_prefix_order(self):
+        store = MetadataStore()
+        for key in ("b/2", "a/1", "b/1", "c/9"):
+            store.put(key, key)
+        assert [k for k, _ in store.cursor("b/")] == ["b/1", "b/2"]
+        assert [k for k, _ in store.cursor()] == ["a/1", "b/1", "b/2", "c/9"]
+
+    def test_records_api(self):
+        store = MetadataStore()
+        rec = ObjectRecord(key="photo")
+        rec.add_version(meta(1))
+        store.put_record(rec)
+        assert store.get_record("photo") is rec
+        assert store.record_count() == 1
+        assert list(store.records()) == [rec]
+        store.delete_record("photo")
+        assert store.get_record("photo") is None
+
+    def test_checkpoint_roundtrip(self, tmp_path):
+        path = tmp_path / "meta.json"
+        store = MetadataStore(path)
+        rec = ObjectRecord(key="k", tags={"t"})
+        rec.add_version(meta(2, mtime=9.0))
+        store.put_record(rec)
+        store.put("config/x", {"a": 1})
+        store.checkpoint()
+
+        fresh = MetadataStore(path)
+        again = fresh.get_record("k")
+        assert again.tags == {"t"}
+        assert again.versions[2].last_modified == 9.0
+        assert fresh.get("config/x") == {"a": 1}
+
+    def test_checkpoint_without_path_raises(self):
+        with pytest.raises(ValueError):
+            MetadataStore().checkpoint()
+
+    def test_cursor_tolerates_deletion(self):
+        store = MetadataStore()
+        for i in range(5):
+            store.put(f"k{i}", i)
+        seen = []
+        for key, _ in store.cursor():
+            seen.append(key)
+            store.delete("k3")
+        assert "k3" not in seen or seen.count("k3") == 1

@@ -1,0 +1,159 @@
+"""Tests for workload generators: Zipfian, YCSB, geo populations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    GeoClientPopulation,
+    RegionActivity,
+    ScrambledZipfian,
+    StalenessOracle,
+    YcsbWorkload,
+    Zipfian,
+)
+from repro.workloads.zipf import Uniform, fnv1a_64
+
+
+class TestZipfian:
+    def test_range(self):
+        z = Zipfian(1000, 0.99, np.random.default_rng(0))
+        samples = z.sample(5000)
+        assert samples.min() >= 0 and samples.max() < 1000
+
+    def test_skew(self):
+        """Rank-0 items dominate under high theta."""
+        z = Zipfian(1000, 0.99, np.random.default_rng(0))
+        samples = z.sample(20_000)
+        top = np.mean(samples == 0)
+        assert top > 0.10   # >10% of draws hit the hottest key
+
+    def test_lower_theta_less_skewed(self):
+        hot_high = np.mean(
+            Zipfian(100, 0.99, np.random.default_rng(1)).sample(20_000) == 0)
+        hot_low = np.mean(
+            Zipfian(100, 0.5, np.random.default_rng(1)).sample(20_000) == 0)
+        assert hot_high > hot_low
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Zipfian(0)
+        with pytest.raises(ValueError):
+            Zipfian(10, theta=1.5)
+
+    def test_scrambled_spreads_hot_keys(self):
+        z = ScrambledZipfian(1000, 0.99, np.random.default_rng(0))
+        samples = z.sample(20_000)
+        counts = np.bincount(samples, minlength=1000)
+        hottest = int(np.argmax(counts))
+        # scrambling moves the hottest item away from id 0 (w.h.p.)
+        assert counts[hottest] > 0.10 * len(samples)
+        assert hottest == fnv1a_64(0) % 1000
+
+    def test_deterministic_given_seed(self):
+        a = ScrambledZipfian(100, 0.9, np.random.default_rng(5)).sample(100)
+        b = ScrambledZipfian(100, 0.9, np.random.default_rng(5)).sample(100)
+        assert (a == b).all()
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    @settings(max_examples=50)
+    def test_fnv_is_deterministic_and_64bit(self, n):
+        h = fnv1a_64(n)
+        assert 0 <= h < 2**64
+        assert h == fnv1a_64(n)
+
+    def test_uniform_chooser(self):
+        u = Uniform(10, np.random.default_rng(0))
+        samples = u.sample(1000)
+        assert set(np.unique(samples)) <= set(range(10))
+        counts = np.bincount(samples, minlength=10)
+        assert counts.min() > 50  # roughly uniform
+
+
+class TestYcsbWorkload:
+    def test_mixes(self):
+        a = YcsbWorkload.workload_a()
+        b = YcsbWorkload.workload_b()
+        assert a.read_prop == 0.5 and b.read_prop == 0.95
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload(read_prop=0.9, update_prop=0.9)
+
+    def test_key_and_value(self):
+        wl = YcsbWorkload(value_size=64)
+        assert wl.key(7) == "user7"
+        assert len(wl.value(np.random.default_rng(0))) == 64
+
+    def test_chooser_kinds(self):
+        rng = np.random.default_rng(0)
+        assert isinstance(YcsbWorkload().chooser(rng), ScrambledZipfian)
+        assert isinstance(
+            YcsbWorkload(distribution="uniform").chooser(rng), Uniform)
+
+
+class TestStalenessOracle:
+    def test_latest_read_counted(self):
+        oracle = StalenessOracle()
+        oracle.note_put("k", 1, ack_time=10.0)
+        assert oracle.judge_get("k", 1, started_at=11.0) is True
+        assert oracle.latest_reads == 1
+
+    def test_outdated_read_counted(self):
+        oracle = StalenessOracle()
+        oracle.note_put("k", 1, ack_time=10.0)
+        oracle.note_put("k", 2, ack_time=20.0)
+        assert oracle.judge_get("k", 1, started_at=25.0) is False
+        assert oracle.outdated_fraction == 1.0
+
+    def test_racing_put_not_counted_stale(self):
+        oracle = StalenessOracle()
+        oracle.note_put("k", 1, ack_time=10.0)
+        oracle.note_put("k", 2, ack_time=20.0)
+        # get started before the v2 ack: v1 is the latest it must see
+        assert oracle.judge_get("k", 1, started_at=15.0) is True
+
+    def test_unknown_key_is_fresh(self):
+        oracle = StalenessOracle()
+        assert oracle.judge_get("ghost", 0, started_at=0.0) is True
+
+    def test_fraction_empty(self):
+        assert StalenessOracle().outdated_fraction == 0.0
+
+
+class TestGeoPopulation:
+    def test_gaussian_peaks(self):
+        act = RegionActivity("r", peak_time=100.0, sigma=20.0,
+                             max_clients=10)
+        assert act.active_clients(100.0) == 10
+        assert act.active_clients(100.0 + 3 * 20.0) <= 1
+        assert act.active_clients(0.0) <= act.active_clients(100.0)
+
+    def test_min_clients_floor(self):
+        act = RegionActivity("r", peak_time=0.0, sigma=1.0,
+                             max_clients=10, min_clients=2)
+        assert act.active_clients(1e6) == 2
+
+    def test_staggered_order(self):
+        pop = GeoClientPopulation.staggered(
+            ["asia", "eu", "us"], first_peak=100.0, stagger=50.0,
+            sigma=10.0, max_clients=10)
+        assert pop.busiest_region(100.0) == "asia"
+        assert pop.busiest_region(150.0) == "eu"
+        assert pop.busiest_region(200.0) == "us"
+
+    def test_client_activation_order(self):
+        pop = GeoClientPopulation.staggered(
+            ["r"], first_peak=0.0, stagger=0.0, sigma=10.0, max_clients=10)
+        # at the peak everyone is active; far away only low indices
+        assert pop.is_active("r", 9, 0.0)
+        assert not pop.is_active("r", 9, 40.0)
+
+    @given(st.floats(min_value=0, max_value=10_000,
+                     allow_nan=False))
+    @settings(max_examples=50)
+    def test_active_count_bounded(self, t):
+        act = RegionActivity("r", peak_time=500.0, sigma=60.0,
+                             max_clients=10, min_clients=1)
+        count = act.active_clients(t)
+        assert 1 <= count <= 10
