@@ -12,17 +12,26 @@ Walks through the full lifecycle from §4.1 of the paper:
 4. inspect where the bytes ended up on each region's tiers.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace   # also dump a Chrome trace
+
+With ``--trace`` the run records every RPC hop, network transmit and
+storage access as spans and writes ``results/quickstart_trace.json``,
+loadable in chrome://tracing or https://ui.perfetto.dev.
 """
 
+import sys
+
 from repro import build_deployment
+from repro.bench.reporting import dump_observability
 from repro.net import EU_WEST, US_EAST, US_WEST
 from repro.policydsl import builtin_policy
 from repro.util.units import MS
 
 
-def main() -> None:
+def main(trace: bool = False) -> None:
     # 1. the testbed ------------------------------------------------------
-    dep = build_deployment([US_WEST, US_EAST, EU_WEST], seed=42)
+    dep = build_deployment([US_WEST, US_EAST, EU_WEST], seed=42,
+                           with_tracing=trace)
 
     # 2. a global policy, straight from the paper's Figure 3(a) -----------
     spec = builtin_policy("MultiPrimariesConsistency")
@@ -67,6 +76,12 @@ def main() -> None:
         print(f"  {region:10s} latest=v{record.latest_version} "
               f"locations={sorted(meta.locations)}")
 
+    if trace:
+        written = dump_observability(dep.obs, "results", stem="quickstart")
+        print("\nobservability dumped:")
+        for path in written:
+            print(f"  {path}")
+
 
 if __name__ == "__main__":
-    main()
+    main(trace="--trace" in sys.argv[1:])

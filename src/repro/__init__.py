@@ -38,6 +38,7 @@ from repro.core import (
     WieraClient,
     WieraService,
 )
+from repro.obs import MetricsRegistry, Observability, get_obs
 from repro.sim import Simulator
 from repro.net import Network
 
@@ -46,6 +47,9 @@ __version__ = "1.0.0"
 __all__ = [
     "Simulator",
     "Network",
+    "Observability",
+    "MetricsRegistry",
+    "get_obs",
     "Deployment",
     "build_deployment",
     "drive",

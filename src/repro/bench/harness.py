@@ -15,6 +15,7 @@ from repro.core.global_policy import GlobalPolicySpec
 from repro.core.wiera import WieraService
 from repro.net.network import Network
 from repro.net.topology import US_EAST, Topology
+from repro.obs.api import Observability, get_obs
 from repro.sim.kernel import Simulator
 from repro.storage.cost import CostLedger
 from repro.tiera.objects import ObjectRecord, VersionMeta, storage_key
@@ -33,6 +34,7 @@ class Deployment:
     servers: dict = field(default_factory=dict)   # (region, provider) -> TieraServer
     ledger: Optional[CostLedger] = None
     clients: dict = field(default_factory=dict)
+    obs: Optional[Observability] = None
 
     # -- driving -------------------------------------------------------------
     def drive(self, gen: Generator, name: str = "main"):
@@ -83,21 +85,28 @@ def build_deployment(regions: Sequence[str],
                      server_vm: str = "aws.t2_micro",
                      topology: Optional[Topology] = None,
                      with_ledger: bool = False,
-                     heartbeat_interval: float = 5.0) -> Deployment:
+                     heartbeat_interval: float = 5.0,
+                     with_tracing: bool = False) -> Deployment:
     """Stand up Wiera + one Tiera server per (region, provider).
 
     ``providers`` maps region -> iterable of providers (default: aws only).
     The Wiera service and its Zookeeper co-tenant live in ``wiera_region``.
     Tiera servers are registered with the TSM and heartbeats started.
+    ``with_tracing`` turns on span recording (metrics are always live);
+    the Chrome trace can then be dumped via
+    :func:`repro.bench.reporting.dump_observability`.
     """
     sim = Simulator()
+    obs = get_obs(sim)
+    if with_tracing:
+        obs.enable_tracing()
     network = Network(sim, topology)
     rng = RngRegistry(seed)
     ledger = CostLedger(sim) if with_ledger else None
     wiera = WieraService(sim, network, region=wiera_region,
                          heartbeat_interval=heartbeat_interval)
     dep = Deployment(sim=sim, network=network, rng=rng, wiera=wiera,
-                     ledger=ledger)
+                     ledger=ledger, obs=obs)
     for region in regions:
         for provider in (providers or {}).get(region, ("aws",)):
             vm = server_vm

@@ -90,3 +90,27 @@ def dump_reports(directory: str | Path) -> Optional[Path]:
     combined = out / "all_experiments.txt"
     combined.write_text(render_all() + "\n")
     return combined
+
+
+def dump_observability(obs, directory: str | Path,
+                       stem: str = "run") -> list[Path]:
+    """Export one run's observability: Chrome trace + metrics snapshot.
+
+    Writes ``{stem}_metrics.json`` always, and ``{stem}_trace.json``
+    (chrome://tracing / Perfetto ``trace_event`` format) when the run
+    recorded spans.  Returns the written paths.
+    """
+    from repro.obs.export import write_chrome_trace, write_metrics
+
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    metrics_path = out / f"{stem}_metrics.json"
+    write_metrics(obs.metrics, metrics_path)
+    written.append(metrics_path)
+    spans = getattr(obs.tracer, "spans", None)
+    if spans:
+        trace_path = out / f"{stem}_trace.json"
+        write_chrome_trace(obs.tracer, trace_path)
+        written.append(trace_path)
+    return written

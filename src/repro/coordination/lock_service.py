@@ -17,6 +17,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
+from repro.obs.api import get_obs
 from repro.sim.kernel import Event, Simulator
 from repro.sim.rpc import Message, RpcNode
 
@@ -49,6 +50,11 @@ class LockService:
         self.grants = 0
         self.releases = 0
         self.expirations = 0
+        self._obs = get_obs(sim)
+        self._wait_hist = self._obs.metrics.histogram("lock.wait",
+                                                      node=node.name)
+        self._expire_counter = self._obs.metrics.counter("lock.expirations",
+                                                         node=node.name)
         node.register("acquire", self.rpc_acquire)
         node.register("release", self.rpc_release)
         node.register("renew", self.rpc_renew)
@@ -59,32 +65,43 @@ class LockService:
         key = msg.args["key"]
         owner = msg.args["owner"]
         lease = msg.args.get("lease", self.default_lease)
-        yield self.sim.timeout(self.service_time)
-        state = self._locks.setdefault(key, LockState())
-        if state.holder is None:
-            self._grant(key, state, owner, lease)
+        with self._obs.tracer.span("lock:acquire", cat="lock",
+                                   component=self.node.name, key=key,
+                                   owner=owner) as span:
+            arrived = self.sim.now
+            yield self.sim.timeout(self.service_time)
+            state = self._locks.setdefault(key, LockState())
+            if state.holder is None:
+                self._grant(key, state, owner, lease)
+                self._wait_hist.observe(self.sim.now - arrived)
+                return {"granted": True, "holder": owner}
+            if state.holder == owner:
+                # Re-entrant acquisition just refreshes the lease.
+                state.lease_expires = self.sim.now + lease
+                self._wait_hist.observe(self.sim.now - arrived)
+                return {"granted": True, "holder": owner, "reentrant": True}
+            grant = Event(self.sim)
+            state.waiters.append((owner, lease, grant))
+            span.set(queued=True)
+            yield grant
+            self._wait_hist.observe(self.sim.now - arrived)
             return {"granted": True, "holder": owner}
-        if state.holder == owner:
-            # Re-entrant acquisition just refreshes the lease.
-            state.lease_expires = self.sim.now + lease
-            return {"granted": True, "holder": owner, "reentrant": True}
-        grant = Event(self.sim)
-        state.waiters.append((owner, lease, grant))
-        yield grant
-        return {"granted": True, "holder": owner}
 
     def rpc_release(self, msg: Message) -> Generator:
         key = msg.args["key"]
         owner = msg.args["owner"]
-        yield self.sim.timeout(self.service_time)
-        state = self._locks.get(key)
-        if state is None or state.holder != owner:
-            raise LockServiceError(
-                f"release of {key!r} by non-holder {owner!r} "
-                f"(holder={state.holder if state else None})")
-        self.releases += 1
-        self._pass_on(key, state)
-        return {"released": True}
+        with self._obs.tracer.span("lock:release", cat="lock",
+                                   component=self.node.name, key=key,
+                                   owner=owner):
+            yield self.sim.timeout(self.service_time)
+            state = self._locks.get(key)
+            if state is None or state.holder != owner:
+                raise LockServiceError(
+                    f"release of {key!r} by non-holder {owner!r} "
+                    f"(holder={state.holder if state else None})")
+            self.releases += 1
+            self._pass_on(key, state)
+            return {"released": True}
 
     def rpc_renew(self, msg: Message) -> Generator:
         key = msg.args["key"]
@@ -129,6 +146,7 @@ class LockService:
                 return  # released normally (or already revoked)
             if self.sim.now >= state.lease_expires:
                 self.expirations += 1
+                self._expire_counter.inc()
                 self._pass_on(key, state)
                 return
             expires = state.lease_expires  # lease was renewed; keep watching

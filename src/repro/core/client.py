@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.net.network import Host, HostDownError, Network, NetworkError
+from repro.obs.api import get_obs
 from repro.sim.kernel import Simulator
 from repro.sim.rpc import RpcNode
 from repro.util.stats import LatencyRecorder
@@ -35,6 +36,16 @@ class WieraClient:
         self.put_latency = LatencyRecorder("put")
         self.get_latency = LatencyRecorder("get")
         self.failovers = 0
+        self._obs = get_obs(sim)
+        metrics = self._obs.metrics
+        self._op_hists = {
+            "put": metrics.histogram("client.op_latency",
+                                     client=self.node.name, op="put"),
+            "get": metrics.histogram("client.op_latency",
+                                     client=self.node.name, op="get"),
+        }
+        self._failover_counter = metrics.counter("client.failovers",
+                                                 client=self.node.name)
 
     # -- attachment -----------------------------------------------------------
     def attach(self, instances: list[dict]) -> None:
@@ -68,6 +79,7 @@ class WieraClient:
             except (HostDownError, NetworkError) as exc:
                 last_error = exc
                 self.failovers += 1
+                self._failover_counter.inc()
                 continue
         raise NoInstanceAvailableError(
             f"all instances unreachable for {method}: {last_error}")
@@ -80,6 +92,7 @@ class WieraClient:
             size=len(data) + 256)
         elapsed = self.sim.now - start
         self.put_latency.record(start, elapsed, label=info["region"])
+        self._op_hists["put"].observe(elapsed)
         result["latency"] = elapsed
         return result
 
@@ -89,6 +102,7 @@ class WieraClient:
         result, info = yield from self._invoke("get", {"key": key}, size=256)
         elapsed = self.sim.now - start
         self.get_latency.record(start, elapsed, label=info["region"])
+        self._op_hists["get"].observe(elapsed)
         result["latency"] = elapsed
         return result
 

@@ -41,6 +41,8 @@ class DynamicConsistencySpec:
     weak: str = "eventual"
     check_interval: float = 1.0
     probe_interval: float = 2.0
+    #: give up on a single monitor probe RPC after this many seconds
+    probe_timeout: float = 10.0
 
 
 @dataclass(frozen=True)

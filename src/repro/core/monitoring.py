@@ -27,6 +27,7 @@ from repro.core.global_policy import (
     DynamicConsistencySpec,
 )
 from repro.sim.kernel import Interrupt
+from repro.sim.rpc import call_with_timeout
 
 #: estimated local-store component of a strong put, used by probe estimates
 _LOCAL_STORE_ESTIMATE = 0.004
@@ -62,7 +63,13 @@ class LatencyMonitor(MonitorBase):
         super().__init__(tim)
         self.spec = spec
         self.mode = "strong"
-        self._samples: dict[str, list[tuple[float, float]]] = {}
+        # App-perceived latencies live in the shared MetricsRegistry (every
+        # instance records to ``tiera.op_latency``); the monitor only reads.
+        self._metrics = tim._obs.metrics
+        # Sim-time before which samples are ignored — the registry view of
+        # "forget everything" after a consistency switch (shared histograms
+        # cannot be cleared by one consumer).
+        self._reset_at = 0.0
         # Per-instance violation clocks: each instance has its own
         # dedicated monitoring thread in the paper (§4.3); an instance
         # with no fresh samples keeps its previous verdict rather than
@@ -70,31 +77,25 @@ class LatencyMonitor(MonitorBase):
         self._violating_since: dict[str, Optional[float]] = {}
         self._ok_since: Optional[float] = None
         self.signal_log: list[tuple[float, float, str]] = []
-        for record in tim.instances.values():
-            self._subscribe(record)
+        self._signal_gauge = self._metrics.gauge(
+            "wiera.dynamic_signal", wiera=tim.wiera_instance_id)
+        self._timeout_counter = self._metrics.counter(
+            "monitor.probe_timeouts", wiera=tim.wiera_instance_id)
 
-    def _subscribe(self, record) -> None:
-        instance = record.instance
-        iid = instance.instance_id
-
-        def listener(op, elapsed, src, _iid=iid):
-            if op == self.spec.op and src == "app":
-                bucket = self._samples.setdefault(_iid, [])
-                bucket.append((self.sim.now, elapsed))
-                if len(bucket) > 512:
-                    del bucket[:256]
-
-        instance.latency_listeners.append(listener)
+    def _hist(self, iid: str):
+        """The app-latency histogram an instance records into."""
+        return self._metrics.histogram("tiera.op_latency", instance=iid,
+                                       op=self.spec.op, src="app")
 
     # -- signal computation ---------------------------------------------------
     def observed_signal(self) -> Optional[float]:
         """Worst recent app-perceived latency across instances."""
         horizon = self.sim.now - max(2 * self.spec.check_interval, 2.0)
+        since = max(horizon, self._reset_at)
         worst = None
-        for bucket in self._samples.values():
-            recent = [v for t, v in bucket if t >= horizon]
-            if recent:
-                m = max(recent)
+        for iid in self.tim.instances:
+            m = self._hist(iid).max_since(since)
+            if m is not None:
                 worst = m if worst is None else max(worst, m)
         return worst
 
@@ -102,13 +103,13 @@ class LatencyMonitor(MonitorBase):
         """Advance each instance's violation clock; return the longest
         sustained violation duration (None if nobody is violating)."""
         horizon = self.sim.now - max(4 * self.spec.check_interval, 4.0)
+        cutoff = max(horizon, self._reset_at)
         longest = None
         for record in self.tim.instances.values():
             iid = record.instance_id
-            bucket = self._samples.get(iid, ())
-            recent = [v for t, v in bucket if t >= horizon]
-            if recent:
-                if max(recent) > self.spec.latency_threshold:
+            recent_max = self._hist(iid).max_since(cutoff)
+            if recent_max is not None:
+                if recent_max > self.spec.latency_threshold:
                     self._violating_since.setdefault(iid, self.sim.now)
                 else:
                     self._violating_since.pop(iid, None)
@@ -128,22 +129,37 @@ class LatencyMonitor(MonitorBase):
         strong put ~= 2 x lock RTT + max peer RTT + local store.
         Uses the *current* network state, so injected delays and their
         expiry are visible even while the weak model hides them from
-        application-perceived latencies.
+        application-perceived latencies.  Probes are raced against
+        ``spec.probe_timeout`` so a dead lock service or partitioned peer
+        stalls one probe round, not the whole monitor.
         """
+        timeout = self.spec.probe_timeout
         worst = 0.0
         for record in self.tim.instances.values():
             instance = record.instance
             if instance.host.down:
                 continue
             t0 = self.sim.now
-            yield instance.node.call(self.tim.lock_node, "holder",
-                                     {"key": "__probe__"})
+            try:
+                yield from call_with_timeout(
+                    self.sim,
+                    instance.node.call(self.tim.lock_node, "holder",
+                                       {"key": "__probe__"}),
+                    timeout)
+            except TimeoutError:
+                self._timeout_counter.inc()
             lock_rtt = self.sim.now - t0
             rtts = []
             for peer in instance.peers.values():
                 p0 = self.sim.now
                 try:
-                    yield instance.node.call(peer.node, "probe")
+                    yield from call_with_timeout(
+                        self.sim, instance.node.call(peer.node, "probe"),
+                        timeout)
+                except TimeoutError:
+                    self._timeout_counter.inc()
+                    rtts.append(self.sim.now - p0)
+                    continue
                 except Exception:
                     continue
                 rtts.append(self.sim.now - p0)
@@ -162,17 +178,19 @@ class LatencyMonitor(MonitorBase):
                     longest = self._update_violation_clocks()
                     self.signal_log.append(
                         (self.sim.now, longest or 0.0, self.mode))
+                    self._signal_gauge.set(longest or 0.0)
                     if longest is not None and longest >= spec.period:
                         yield from self.tim.switch_consistency(spec.weak)
                         self.mode = "weak"
                         self._violating_since.clear()
-                        self._samples.clear()
+                        self._reset_at = self.sim.now
                         self._ok_since = None
                 else:
                     # Weak mode hides violations from app latencies, so
                     # estimate what a strong put would cost right now.
                     signal = yield from self.probe_estimate()
                     self.signal_log.append((self.sim.now, signal, self.mode))
+                    self._signal_gauge.set(signal)
                     if signal <= spec.latency_threshold:
                         if self._ok_since is None:
                             self._ok_since = self.sim.now
@@ -181,7 +199,7 @@ class LatencyMonitor(MonitorBase):
                             self.mode = "strong"
                             self._ok_since = None
                             self._violating_since.clear()
-                            self._samples.clear()
+                            self._reset_at = self.sim.now
                     else:
                         self._ok_since = None
         except Interrupt:
@@ -273,23 +291,31 @@ class ColdDataCoordinator(MonitorBase):
             while True:
                 yield self.sim.timeout(spec.check_interval)
                 central = self._central_record()
-                result = yield self.tim.node.call(
-                    central.node, "ctl_demote_cold",
-                    {"age": spec.age, "to_tier": spec.target_tier,
-                     "bandwidth": spec.bandwidth})
-                demoted = result["demoted"]
-                if not demoted:
-                    continue
-                self.centralized_objects += len(demoted)
-                shared_name = self.tim.shared_cold_tier_name
-                calls = []
-                for iid, record in self.tim.instances.items():
-                    if iid == central.instance_id:
+                with self.tim._obs.tracer.span(
+                        "policy:demote_cold", cat="policy",
+                        component=self.tim.node.name,
+                        central=central.instance_id) as span:
+                    result = yield self.tim.node.call(
+                        central.node, "ctl_demote_cold",
+                        {"age": spec.age, "to_tier": spec.target_tier,
+                         "bandwidth": spec.bandwidth})
+                    demoted = result["demoted"]
+                    span.set(demoted=len(demoted))
+                    if not demoted:
                         continue
-                    calls.append(self.tim.node.call(
-                        record.node, "ctl_adopt_remote_cold",
-                        {"tier": shared_name, "objects": demoted}))
-                for call in calls:
-                    yield call
+                    self.centralized_objects += len(demoted)
+                    self.tim._obs.metrics.counter(
+                        "policy.cold_demotions",
+                        wiera=self.tim.wiera_instance_id).inc(len(demoted))
+                    shared_name = self.tim.shared_cold_tier_name
+                    calls = []
+                    for iid, record in self.tim.instances.items():
+                        if iid == central.instance_id:
+                            continue
+                        calls.append(self.tim.node.call(
+                            record.node, "ctl_adopt_remote_cold",
+                            {"tier": shared_name, "objects": demoted}))
+                    for call in calls:
+                        yield call
         except Interrupt:
             return

@@ -27,6 +27,7 @@ from repro.core.monitoring import (
     LatencyMonitor,
     RequestsMonitor,
 )
+from repro.obs.api import get_obs
 from repro.sim.rpc import RpcNode
 from repro.tiera.instance import InstanceRef
 from repro.tiera.instance_tier import InstanceTier
@@ -67,6 +68,7 @@ class TieraInstanceManager:
         self.lock_node = lock_node
         self.node = RpcNode(sim, network, wiera.host,
                             name=f"tim:{wiera_instance_id}:{next(self._seq)}")
+        self._obs = get_obs(sim)
         self.instances: dict[str, InstanceRecord] = {}
         self.protocol = None
         self.monitors: list = []
@@ -206,17 +208,27 @@ class TieraInstanceManager:
         switch are blocked and queued until the change takes effect."""
         start = self.sim.now
         from_name = self.protocol.name if self.protocol else "none"
-        alive = [rec for rec in self.instances.values() if not rec.down]
-        for rec in alive:
-            yield self.node.call(rec.node, "ctl_close_gate")
-        for rec in alive:
-            yield self.node.call(rec.node, "ctl_drain")
-        new_protocol = self._build_protocol(to_name)
-        yield from self._install_protocol(new_protocol)
-        self.protocol = new_protocol
-        for rec in alive:
-            yield self.node.call(rec.node, "ctl_open_gate")
+        with self._obs.tracer.span("policy:switch_consistency", cat="policy",
+                                   component=self.node.name,
+                                   to=to_name) as span:
+            span.set(**{"from": from_name})
+            alive = [rec for rec in self.instances.values() if not rec.down]
+            for rec in alive:
+                yield self.node.call(rec.node, "ctl_close_gate")
+            for rec in alive:
+                yield self.node.call(rec.node, "ctl_drain")
+            new_protocol = self._build_protocol(to_name)
+            yield from self._install_protocol(new_protocol)
+            self.protocol = new_protocol
+            for rec in alive:
+                yield self.node.call(rec.node, "ctl_open_gate")
         self.switch_log.append((start, from_name, to_name, self.sim.now))
+        metrics = self._obs.metrics
+        metrics.counter("policy.consistency_switches",
+                        wiera=self.wiera_instance_id).inc()
+        metrics.histogram("policy.switch_duration",
+                          wiera=self.wiera_instance_id).observe(
+                              self.sim.now - start)
         return {"from": from_name, "to": to_name,
                 "took": self.sim.now - start}
 
@@ -230,15 +242,21 @@ class TieraInstanceManager:
         old_id = self.protocol.config.primary_id
         if old_id == new_primary_id:
             return {"primary": old_id, "changed": False}
-        alive = [rec for rec in self.instances.values() if not rec.down]
-        for rec in alive:
-            yield self.node.call(rec.node, "ctl_close_gate")
-        old_rec = self.instances.get(old_id)
-        if old_rec is not None and not old_rec.down:
-            yield self.node.call(old_rec.node, "ctl_drain")
-        self.protocol.set_primary(new_primary_id, self.sim.now)
-        for rec in alive:
-            yield self.node.call(rec.node, "ctl_open_gate")
+        with self._obs.tracer.span("policy:change_primary", cat="policy",
+                                   component=self.node.name,
+                                   to=new_primary_id) as span:
+            span.set(**{"from": old_id})
+            alive = [rec for rec in self.instances.values() if not rec.down]
+            for rec in alive:
+                yield self.node.call(rec.node, "ctl_close_gate")
+            old_rec = self.instances.get(old_id)
+            if old_rec is not None and not old_rec.down:
+                yield self.node.call(old_rec.node, "ctl_drain")
+            self.protocol.set_primary(new_primary_id, self.sim.now)
+            for rec in alive:
+                yield self.node.call(rec.node, "ctl_open_gate")
+        self._obs.metrics.counter("policy.primary_changes",
+                                  wiera=self.wiera_instance_id).inc()
         return {"primary": new_primary_id, "previous": old_id,
                 "changed": True, "took": self.sim.now - start}
 

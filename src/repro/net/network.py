@@ -17,6 +17,7 @@ from typing import Generator, Optional
 from repro.net.link import BandwidthLink
 from repro.net.topology import Topology
 from repro.net.vmprofiles import VmProfile, get_profile
+from repro.obs.api import get_obs
 from repro.sim.kernel import Simulator
 
 
@@ -76,6 +77,9 @@ class Network:
         self.monitor = None  # optional NetworkMonitor
         self.bytes_transferred = 0
         self.messages_sent = 0
+        self._obs = get_obs(sim)
+        self._msg_counter = self._obs.metrics.counter("net.messages")
+        self._bytes_counter = self._obs.metrics.counter("net.bytes")
 
     # -- host management ----------------------------------------------------
     def add_host(self, name: str, region: str, provider: str = "aws",
@@ -168,17 +172,24 @@ class Network:
         Raises :class:`NetworkError`/:class:`HostDownError` if the
         destination is unreachable at send time.
         """
-        self.check_reachable(src, dst)
-        start = self.sim.now
-        self.messages_sent += 1
-        self.bytes_transferred += nbytes
-        if src is not dst:
-            yield from src.egress.transmit(nbytes)
-            latency = self.oneway_latency(src, dst)
-            if latency > 0:
-                yield self.sim.timeout(latency)
-        # Destination may have died while the message was in flight.
-        if dst.down:
-            raise HostDownError(f"host {dst.name} went down mid-transfer")
-        if self.monitor is not None:
-            self.monitor.record_transfer(src, dst, nbytes, self.sim.now - start)
+        with self._obs.tracer.span("net:transmit", cat="net",
+                                   component=src.name, dst=dst.name,
+                                   bytes=nbytes):
+            self.check_reachable(src, dst)
+            start = self.sim.now
+            self.messages_sent += 1
+            self.bytes_transferred += nbytes
+            self._msg_counter.inc()
+            self._bytes_counter.inc(nbytes)
+            if src is not dst:
+                yield from src.egress.transmit(nbytes)
+                latency = self.oneway_latency(src, dst)
+                if latency > 0:
+                    yield self.sim.timeout(latency)
+            # Destination may have died while the message was in flight.
+            if dst.down:
+                raise HostDownError(
+                    f"host {dst.name} went down mid-transfer")
+            if self.monitor is not None:
+                self.monitor.record_transfer(src, dst, nbytes,
+                                             self.sim.now - start)

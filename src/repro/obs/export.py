@@ -1,0 +1,76 @@
+"""Exporters: Chrome ``trace_event`` JSON and flat metrics dumps.
+
+The Chrome format (load via ``chrome://tracing`` or https://ui.perfetto.dev)
+maps one *component* (RPC node, host, storage tier...) to a trace "process"
+row and one *trace* (request tree) to a "thread" within it, so concurrent
+requests through the same component land on separate tracks and nest purely
+by time containment.  Timestamps are simulated seconds scaled to the
+format's microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+_US = 1e6  # sim seconds -> trace_event microseconds
+
+
+def chrome_trace_events(spans: Iterable) -> list[dict[str, Any]]:
+    """Convert finished spans to a ``traceEvents`` list."""
+    pids: dict[str, int] = {}
+    threads: set[tuple[int, int]] = set()
+    events: list[dict[str, Any]] = []
+    for span in sorted((s for s in spans if s.end is not None),
+                       key=lambda s: (s.start, s.span_id)):
+        component = span.component or "sim"
+        pid = pids.setdefault(component, len(pids) + 1)
+        threads.add((pid, span.trace_id))
+        args = {k: _jsonable(v) for k, v in span.args.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_span_id"] = span.parent_id
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.cat or "span",
+            "ts": span.start * _US,
+            "dur": (span.end - span.start) * _US,
+            "pid": pid,
+            "tid": span.trace_id,
+            "args": args,
+        })
+    meta: list[dict[str, Any]] = []
+    for component, pid in pids.items():
+        meta.append({"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+                     "args": {"name": component}})
+    for pid, tid in sorted(threads):
+        meta.append({"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                     "args": {"name": f"trace {tid}"}})
+    return meta + events
+
+
+def write_chrome_trace(tracer_or_spans, path: str | Path) -> Path:
+    """Write a Chrome ``trace_event`` JSON file; returns its path."""
+    spans = getattr(tracer_or_spans, "spans", tracer_or_spans)
+    payload = {"traceEvents": chrome_trace_events(spans),
+               "displayTimeUnit": "ms"}
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=1))
+    return out
+
+
+def write_metrics(registry, path: str | Path) -> Path:
+    """Write the registry's flat snapshot as JSON; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(registry.snapshot(), indent=1, default=str))
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

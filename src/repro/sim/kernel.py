@@ -130,6 +130,9 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._target: Optional[Event] = None  # event this process waits on
+        # Current trace context (repro.obs): spans opened while this process
+        # runs parent under it; RPC propagates it across process boundaries.
+        self.obs_ctx = None
         # Bootstrap: resume on the next scheduling round.
         init = Event(sim)
         init._ok = True
@@ -274,6 +277,7 @@ class Simulator:
         self._seq = 0
         self._heap: list[tuple[float, int, Event]] = []
         self._active_process: Optional[Process] = None
+        self._obs = None  # Observability bundle, installed by repro.obs
 
     @property
     def now(self) -> float:

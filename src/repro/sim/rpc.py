@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional
 
 from repro.net.network import Host, Network
+from repro.obs.api import get_obs
+from repro.obs.trace import TraceContext
 from repro.sim.kernel import Process, Simulator
 
 
@@ -40,6 +42,8 @@ class Message:
     args: dict[str, Any] = field(default_factory=dict)
     size: int = 256
     sent_at: float = 0.0
+    #: trace context of the sending span (None while tracing is disabled)
+    trace: Optional[TraceContext] = None
 
 
 class RpcNode:
@@ -55,8 +59,20 @@ class RpcNode:
         self.host = host
         self.name = name or host.name
         self._handlers: dict[str, Callable[[Message], Generator]] = {}
-        self.requests_served = 0
-        self.dropped_oneways = 0
+        self._obs = get_obs(sim)
+        self._served = self._obs.metrics.counter("rpc.requests_served",
+                                                 node=self.name)
+        self._dropped = self._obs.metrics.counter("rpc.dropped_oneways",
+                                                  node=self.name)
+
+    @property
+    def requests_served(self) -> int:
+        """Requests dispatched here (backed by the shared MetricsRegistry)."""
+        return self._served.value
+
+    @property
+    def dropped_oneways(self) -> int:
+        return self._dropped.value
 
     # -- registration -----------------------------------------------------
     def register(self, method: str,
@@ -80,22 +96,30 @@ class RpcNode:
              size: Optional[int] = None,
              reply_size: Optional[int] = None) -> Process:
         """Invoke ``method`` on ``dst``; returns a process/event to yield on."""
+        # The caller's trace context must be captured here, in the calling
+        # process's frame — the generator below runs as a new process.
+        parent = self._obs.tracer.current()
         return self.sim.process(
-            self._call(dst, method, args or {}, size, reply_size),
+            self._call(dst, method, args or {}, size, reply_size, parent),
             name=f"rpc:{self.name}->{dst.name}:{method}")
 
     def _call(self, dst: "RpcNode", method: str, args: dict[str, Any],
-              size: Optional[int], reply_size: Optional[int]) -> Generator:
-        msg = Message(src=self.name, dst=dst.name, method=method, args=args,
-                      size=size if size is not None else self.ENVELOPE,
-                      sent_at=self.sim.now)
-        yield from self.network.transmit(self.host, dst.host, msg.size)
-        result = yield from dst._dispatch(msg)
-        wire_reply = reply_size
-        if wire_reply is None:
-            wire_reply = self.ENVELOPE + _payload_size(result)
-        yield from self.network.transmit(dst.host, self.host, wire_reply)
-        return result
+              size: Optional[int], reply_size: Optional[int],
+              parent: Optional[TraceContext] = None) -> Generator:
+        with self._obs.tracer.span(f"rpc:{method}", cat="rpc",
+                                   component=self.name, parent=parent,
+                                   dst=dst.name) as span:
+            msg = Message(src=self.name, dst=dst.name, method=method,
+                          args=args,
+                          size=size if size is not None else self.ENVELOPE,
+                          sent_at=self.sim.now, trace=span.context)
+            yield from self.network.transmit(self.host, dst.host, msg.size)
+            result = yield from dst._dispatch(msg)
+            wire_reply = reply_size
+            if wire_reply is None:
+                wire_reply = self.ENVELOPE + _payload_size(result)
+            yield from self.network.transmit(dst.host, self.host, wire_reply)
+            return result
 
     def send_oneway(self, dst: "RpcNode", method: str,
                     args: Optional[dict[str, Any]] = None,
@@ -105,20 +129,27 @@ class RpcNode:
         Used for background/asynchronous propagation (the ``queue``
         response) where a dead replica must not crash the sender.
         """
+        parent = self._obs.tracer.current()
         return self.sim.process(
-            self._oneway(dst, method, args or {}, size),
+            self._oneway(dst, method, args or {}, size, parent),
             name=f"rpc1w:{self.name}->{dst.name}:{method}")
 
     def _oneway(self, dst: "RpcNode", method: str, args: dict[str, Any],
-                size: Optional[int]) -> Generator:
-        msg = Message(src=self.name, dst=dst.name, method=method, args=args,
-                      size=size if size is not None else self.ENVELOPE,
-                      sent_at=self.sim.now)
-        try:
-            yield from self.network.transmit(self.host, dst.host, msg.size)
-            yield from dst._dispatch(msg)
-        except Exception:
-            self.dropped_oneways += 1
+                size: Optional[int],
+                parent: Optional[TraceContext] = None) -> Generator:
+        with self._obs.tracer.span(f"oneway:{method}", cat="rpc",
+                                   component=self.name, parent=parent,
+                                   dst=dst.name) as span:
+            msg = Message(src=self.name, dst=dst.name, method=method,
+                          args=args,
+                          size=size if size is not None else self.ENVELOPE,
+                          sent_at=self.sim.now, trace=span.context)
+            try:
+                yield from self.network.transmit(self.host, dst.host, msg.size)
+                yield from dst._dispatch(msg)
+            except Exception as exc:
+                self._dropped.inc()
+                span.set(dropped=repr(exc))
 
     # -- incoming dispatch -----------------------------------------------------
     def _dispatch(self, msg: Message) -> Generator:
@@ -130,22 +161,41 @@ class RpcNode:
             raise NoSuchMethodError(
                 f"{self.name} has no method {msg.method!r} "
                 f"(has {sorted(self._handlers)})")
-        self.requests_served += 1
-        result = yield from handler(msg)
+        self._served.inc()
+        with self._obs.tracer.span(f"handle:{msg.method}", cat="rpc.server",
+                                   component=self.name, parent=msg.trace,
+                                   src=msg.src):
+            result = yield from handler(msg)
         return result
 
 
 def _payload_size(value: Any) -> int:
-    """Rough wire size of a handler result, for reply transmission."""
+    """Rough wire size of a handler result, for reply transmission.
+
+    Dict results are charged for *every* byte payload they carry (nested
+    dicts/lists included), so e.g. a batched replica-payload reply is
+    serialized at its real size rather than a flat 64-byte estimate.
+    """
     if value is None:
         return 0
     if isinstance(value, (bytes, bytearray)):
         return len(value)
     if isinstance(value, dict):
-        data = value.get("data")
-        if isinstance(data, (bytes, bytearray)):
-            return len(data) + 64
+        return 64 + sum(_nested_bytes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return 64 + sum(_nested_bytes(v) for v in value)
     return 64
+
+
+def _nested_bytes(value: Any) -> int:
+    """Total bytes-payload carried anywhere inside ``value``."""
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, dict):
+        return sum(_nested_bytes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_nested_bytes(v) for v in value)
+    return 0
 
 
 def call_with_timeout(sim: Simulator, call: Process, timeout: float):
@@ -160,6 +210,7 @@ def call_with_timeout(sim: Simulator, call: Process, timeout: float):
     index, value = winner
     if value is _TIMED_OUT and index == 1:
         call.defuse()
+        get_obs(sim).metrics.counter("rpc.timeouts").inc()
         raise TimeoutError(f"rpc call timed out after {timeout}s")
     return value
 

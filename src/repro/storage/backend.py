@@ -12,6 +12,7 @@ from typing import Generator, Iterator, Optional
 
 import numpy as np
 
+from repro.obs.api import get_obs
 from repro.sim.kernel import Simulator
 from repro.sim.primitives import Resource
 from repro.storage.profiles import TierProfile, get_tier_profile
@@ -59,6 +60,10 @@ class StorageBackend:
         self.reads = 0
         self.writes = 0
         self.deletes = 0
+        self._obs = get_obs(sim)
+        self._op_counter = {
+            op: self._obs.metrics.counter("storage.ops", tier=self.name, op=op)
+            for op in ("read", "write", "delete")}
 
     # -- capacity & contents -------------------------------------------------
     def __contains__(self, key: str) -> bool:
@@ -134,51 +139,64 @@ class StorageBackend:
         if not isinstance(data, (bytes, bytearray)):
             raise TypeError(f"storage data must be bytes, got {type(data)}")
         data = bytes(data)
-        previous = len(self._data.get(key, b""))
-        new_used = self.used_bytes - previous + len(data)
-        if new_used > self.capacity:
-            raise CapacityExceededError(
-                f"{self.name}: writing {len(data)}B would use {new_used}B "
-                f"of {self.capacity}B")
-        service = self.profile.service_time(len(data), write=True) * self._jitter()
-        yield from self._occupy(service)
-        # Commit after the service time so concurrent readers cannot observe
-        # a write that has not completed.
-        previous = len(self._data.get(key, b""))
-        self._data[key] = data
-        self.used_bytes += len(data) - previous
-        self.writes += 1
-        if self._ledger is not None:
-            self._ledger.record_put(self)
-            self._ledger.record_usage(self)
+        with self._obs.tracer.span("storage:write", cat="storage",
+                                   component=self.name, key=key,
+                                   bytes=len(data)):
+            previous = len(self._data.get(key, b""))
+            new_used = self.used_bytes - previous + len(data)
+            if new_used > self.capacity:
+                raise CapacityExceededError(
+                    f"{self.name}: writing {len(data)}B would use {new_used}B "
+                    f"of {self.capacity}B")
+            service = (self.profile.service_time(len(data), write=True)
+                       * self._jitter())
+            yield from self._occupy(service)
+            # Commit after the service time so concurrent readers cannot
+            # observe a write that has not completed.
+            previous = len(self._data.get(key, b""))
+            self._data[key] = data
+            self.used_bytes += len(data) - previous
+            self.writes += 1
+            self._op_counter["write"].inc()
+            if self._ledger is not None:
+                self._ledger.record_put(self)
+                self._ledger.record_usage(self)
 
     def read(self, key: str) -> Generator:
         """Return the bytes stored under ``key``; yields time."""
         if key not in self._data:
             raise ObjectMissingError(f"{self.name}: no object {key!r}")
         nbytes = len(self._data[key])
-        service = self.profile.service_time(nbytes, write=False) * self._jitter()
-        yield from self._occupy(service)
-        self.reads += 1
-        if self._ledger is not None:
-            self._ledger.record_get(self)
-        data = self._data.get(key)
-        if data is None:
-            raise ObjectMissingError(
-                f"{self.name}: object {key!r} deleted during read")
-        return data
+        with self._obs.tracer.span("storage:read", cat="storage",
+                                   component=self.name, key=key,
+                                   bytes=nbytes):
+            service = (self.profile.service_time(nbytes, write=False)
+                       * self._jitter())
+            yield from self._occupy(service)
+            self.reads += 1
+            self._op_counter["read"].inc()
+            if self._ledger is not None:
+                self._ledger.record_get(self)
+            data = self._data.get(key)
+            if data is None:
+                raise ObjectMissingError(
+                    f"{self.name}: object {key!r} deleted during read")
+            return data
 
     def delete(self, key: str) -> Generator:
         """Remove ``key``; yields a small metadata-update time."""
         if key not in self._data:
             raise ObjectMissingError(f"{self.name}: no object {key!r}")
-        yield self.sim.timeout(self.profile.write_latency * 0.5)
-        data = self._data.pop(key, None)
-        if data is not None:
-            self.used_bytes -= len(data)
-        self.deletes += 1
-        if self._ledger is not None:
-            self._ledger.record_usage(self)
+        with self._obs.tracer.span("storage:delete", cat="storage",
+                                   component=self.name, key=key):
+            yield self.sim.timeout(self.profile.write_latency * 0.5)
+            data = self._data.pop(key, None)
+            if data is not None:
+                self.used_bytes -= len(data)
+            self.deletes += 1
+            self._op_counter["delete"].inc()
+            if self._ledger is not None:
+                self._ledger.record_usage(self)
 
     def grow(self, additional: float) -> None:
         """Extend provisioned capacity (the Tiera ``grow`` response)."""

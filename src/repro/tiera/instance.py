@@ -19,6 +19,7 @@ from typing import Generator, Iterable, Optional
 
 from repro.net.link import BandwidthLink
 from repro.net.network import Host, Network
+from repro.obs.api import get_obs
 from repro.sim.kernel import Simulator
 from repro.sim.primitives import Gate
 from repro.sim.rpc import Message, RpcNode
@@ -122,6 +123,8 @@ class TieraInstance:
         self.request_log: deque[tuple[float, str]] = deque()  # (t, source)
         self.get_log: deque[float] = deque()                  # get arrivals
         self.latency_listeners: list = []  # callbacks(op, elapsed, src)
+        self._obs = get_obs(sim)
+        self._op_hists: dict = {}  # (op, src) -> registry histogram
         self._background: list = []
         self.running = False
 
@@ -516,7 +519,16 @@ class TieraInstance:
             counts[src] = counts.get(src, 0) + 1
         return counts
 
+    def _op_hist(self, op: str, src: str):
+        hist = self._op_hists.get((op, src))
+        if hist is None:
+            hist = self._obs.metrics.histogram(
+                "tiera.op_latency", instance=self.instance_id, op=op, src=src)
+            self._op_hists[(op, src)] = hist
+        return hist
+
     def _notify_latency(self, op: str, elapsed: float, src: str) -> None:
+        self._op_hist(op, src).observe(elapsed)
         for listener in self.latency_listeners:
             listener(op, elapsed, src)
 

@@ -81,7 +81,7 @@ class TestViolationClocks:
         monitor = LatencyMonitor(tim, spec)
         iid = next(iter(tim.instances))
         # one violating sample, then silence
-        monitor._samples[iid] = [(dep.sim.now, 0.5)]
+        monitor._hist(iid).observe(0.5)
         assert monitor._update_violation_clocks() is not None
         dep.sim.run(until=dep.sim.now + 60.0)
         # no fresh samples: the clock keeps running, not resetting
@@ -94,20 +94,21 @@ class TestViolationClocks:
         spec = DynamicConsistencySpec(latency_threshold=0.1, period=30.0)
         monitor = LatencyMonitor(tim, spec)
         iid = next(iter(tim.instances))
-        monitor._samples[iid] = [(dep.sim.now, 0.5)]
+        monitor._hist(iid).observe(0.5)
         monitor._update_violation_clocks()
-        monitor._samples[iid] = [(dep.sim.now, 0.05)]
+        # Let the violating sample age out of the 4 s window, then record
+        # a healthy one — the shared registry histogram is append-only.
+        dep.sim.run(until=dep.sim.now + 10.0)
+        monitor._hist(iid).observe(0.05)
         assert monitor._update_violation_clocks() is None
 
-    def test_listener_only_counts_app_requests(self):
+    def test_monitor_only_counts_app_requests(self):
         dep, instances = deploy()
         tim = dep.tim("m")
         monitor = LatencyMonitor(tim, DynamicConsistencySpec(op="put"))
         record = next(iter(tim.instances.values()))
         instance = record.instance
-        for listener in instance.latency_listeners:
-            listener("put", 1.0, "app")
-            listener("put", 9.0, "peer-x")   # forwarded: not counted
-            listener("get", 9.0, "app")      # wrong op: not counted
-        samples = monitor._samples[record.instance_id]
-        assert [v for _, v in samples] == [1.0]
+        instance._notify_latency("put", 1.0, "app")
+        instance._notify_latency("put", 9.0, "peer-x")   # forwarded: not counted
+        instance._notify_latency("get", 9.0, "app")      # wrong op: not counted
+        assert monitor._hist(record.instance_id).values() == [1.0]
