@@ -5,7 +5,6 @@ figure and the put-latency table; results are cached at module scope so
 the two benchmark entries don't re-run the 2 x 32-minute simulation.
 """
 
-import pytest
 
 from repro.bench.experiments import run_fig8_table3
 from repro.bench.reporting import register_report

@@ -38,6 +38,7 @@ from repro.core import (
     WieraClient,
     WieraService,
 )
+from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
 from repro.obs import MetricsRegistry, Observability, get_obs
 from repro.sim import Simulator
 from repro.net import Network
@@ -61,5 +62,8 @@ __all__ = [
     "ChangePrimarySpec",
     "ColdDataSpec",
     "FailureSpec",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryPolicy",
     "__version__",
 ]

@@ -12,6 +12,8 @@ from typing import Generator, Iterable, Optional, Sequence
 
 from repro.core.client import WieraClient
 from repro.core.global_policy import GlobalPolicySpec
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule
 from repro.core.wiera import WieraService
 from repro.net.network import Network
 from repro.net.topology import US_EAST, Topology
@@ -35,6 +37,7 @@ class Deployment:
     ledger: Optional[CostLedger] = None
     clients: dict = field(default_factory=dict)
     obs: Optional[Observability] = None
+    faults: Optional[FaultSchedule] = None
 
     # -- driving -------------------------------------------------------------
     def drive(self, gen: Generator, name: str = "main"):
@@ -49,14 +52,38 @@ class Deployment:
     # -- construction helpers ----------------------------------------------------
     def add_client(self, region: str, provider: str = "aws",
                    vm: str = "generic", name: Optional[str] = None,
-                   instances: Optional[list[dict]] = None) -> WieraClient:
+                   instances: Optional[list[dict]] = None,
+                   request_timeout: Optional[float] = None,
+                   retry_policy: Optional[RetryPolicy] = None) -> WieraClient:
         cname = name or f"client-{region}-{len(self.clients)}"
         host = self.network.add_host(cname, region, provider, vm)
-        client = WieraClient(self.sim, self.network, host, name=cname)
+        client = WieraClient(self.sim, self.network, host, name=cname,
+                             request_timeout=request_timeout,
+                             retry_policy=retry_policy,
+                             rng=self.rng.stream(f"{cname}.retry"))
         if instances is not None:
             client.attach(instances)
         self.clients[cname] = client
         return client
+
+    def metric_total(self, name: str, **labels) -> float:
+        """Sum every counter/gauge called ``name`` whose labels include
+        ``labels`` — e.g. total send failures across all instances."""
+        want = set(labels.items())
+        total = 0
+        for metric in self.obs.metrics:
+            if (metric.name == name and metric.kind in ("counter", "gauge")
+                    and want <= set(metric.labels)):
+                total += metric.value
+        return total
+
+    def fault_schedule(self, name: str = "faults") -> FaultSchedule:
+        """A FaultSchedule wired to this deployment's network and servers
+        (crashing a server host wipes volatile tiers, like a real crash)."""
+        schedule = FaultSchedule(self.sim, self.network,
+                                 servers=self.servers.values(), name=name)
+        self.faults = schedule
+        return schedule
 
     def server(self, region: str, provider: str = "aws") -> TieraServer:
         return self.servers[(region, provider)]

@@ -5,17 +5,29 @@ list)" (§4.1 step 8) and fall back to the next-closest when an instance is
 unreachable (§4.4).  The client exposes the full object-versioning API of
 Table 2 and records app-perceived operation latencies — the quantity every
 latency figure in the paper's evaluation reports.
+
+Failover now covers the full transient-error surface: alongside network
+errors, a request that times out (``request_timeout``) or dies inside the
+remote handler with an :class:`~repro.sim.rpc.RpcError` (e.g. the instance
+crashed mid-operation) moves the client to the next instance.  When a
+``retry_policy`` is set, the whole failover sweep is retried with backoff
+— the paper's "connect to the closest alive instance" loop, with teeth.
+Both knobs default to off so fault-free runs are unchanged.
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.faults.retry import RetryPolicy
 from repro.net.network import Host, HostDownError, Network, NetworkError
 from repro.obs.api import get_obs
 from repro.sim.kernel import Simulator
-from repro.sim.rpc import RpcNode
+from repro.sim.rpc import RpcError, RpcNode, call_with_timeout
 from repro.util.stats import LatencyRecorder
+
+#: errors that mean "try another instance", not "the request is invalid"
+FAILOVER_ERRORS = (HostDownError, NetworkError, TimeoutError, RpcError)
 
 
 class NoInstanceAvailableError(RuntimeError):
@@ -26,16 +38,23 @@ class WieraClient:
     """Application-side handle: proximity-ordered instances + failover."""
 
     def __init__(self, sim: Simulator, network: Network, host: Host,
-                 name: Optional[str] = None):
+                 name: Optional[str] = None,
+                 request_timeout: Optional[float] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 rng=None):
         self.sim = sim
         self.network = network
         self.host = host
         self.node = RpcNode(sim, network, host,
                             name=name or f"client:{host.name}")
         self.instances: list[dict] = []      # proximity-ordered
+        self.request_timeout = request_timeout
+        self.retry_policy = retry_policy
+        self._rng = rng
         self.put_latency = LatencyRecorder("put")
         self.get_latency = LatencyRecorder("get")
         self.failovers = 0
+        self.retries = 0
         self._obs = get_obs(sim)
         metrics = self._obs.metrics
         self._op_hists = {
@@ -46,6 +65,8 @@ class WieraClient:
         }
         self._failover_counter = metrics.counter("client.failovers",
                                                  client=self.node.name)
+        self._retry_counter = metrics.counter("client.retries",
+                                              client=self.node.name)
 
     # -- attachment -----------------------------------------------------------
     def attach(self, instances: list[dict]) -> None:
@@ -66,21 +87,41 @@ class WieraClient:
             raise NoInstanceAvailableError("client has no instances attached")
         return self.instances
 
+    def _call_one(self, info: dict, method: str, args: dict,
+                  size: int) -> Generator:
+        """One RPC to one instance, bounded by ``request_timeout`` if set."""
+        call = self.node.call(info["node"], method, args, size=size)
+        if self.request_timeout is None:
+            result = yield call
+        else:
+            result = yield from call_with_timeout(self.sim, call,
+                                                  self.request_timeout)
+        return result
+
     def _invoke(self, method: str, args: dict, size: int) -> Generator:
-        """Call the closest instance, failing over down the list."""
+        """Call the closest instance, failing over down the list; retry the
+        whole sweep with backoff when a retry policy is configured."""
+        policy = self.retry_policy
+        attempts = policy.max_attempts if policy is not None else 1
         last_error: Optional[Exception] = None
-        for info in self._candidates():
-            if info.get("down"):
-                continue
-            try:
-                result = yield self.node.call(info["node"], method, args,
-                                              size=size)
-                return result, info
-            except (HostDownError, NetworkError) as exc:
-                last_error = exc
-                self.failovers += 1
-                self._failover_counter.inc()
-                continue
+        for attempt in range(attempts):
+            if attempt > 0:
+                self.retries += 1
+                self._retry_counter.inc()
+                yield self.sim.timeout(policy.backoff(attempt - 1,
+                                                      rng=self._rng))
+            for info in self._candidates():
+                if info.get("down"):
+                    continue
+                try:
+                    result = yield from self._call_one(info, method, args,
+                                                       size=size)
+                    return result, info
+                except FAILOVER_ERRORS as exc:
+                    last_error = exc
+                    self.failovers += 1
+                    self._failover_counter.inc()
+                    continue
         raise NoInstanceAvailableError(
             f"all instances unreachable for {method}: {last_error}")
 

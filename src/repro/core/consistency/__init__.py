@@ -18,6 +18,7 @@ from repro.core.consistency.base import (
     ProtocolError,
     ReplicationQueue,
 )
+from repro.core.consistency.repair import AntiEntropyRepairer
 from repro.core.consistency.multi_primaries import MultiPrimariesProtocol
 from repro.core.consistency.primary_backup import (
     PrimaryBackupConfig,
@@ -31,6 +32,7 @@ __all__ = [
     "GlobalProtocol",
     "ProtocolError",
     "ReplicationQueue",
+    "AntiEntropyRepairer",
     "MultiPrimariesProtocol",
     "PrimaryBackupProtocol",
     "PrimaryBackupConfig",

@@ -5,12 +5,24 @@ instance: all its methods take the acting ``instance`` explicitly and any
 per-instance state (replication queues) is keyed by instance id.  Sharing
 one object is what makes runtime changes cheap — flipping the primary is
 one field write in a shared config, after the TIM has quiesced the group.
+
+Failure handling: a lazy update whose send fails is *never* silently
+dropped.  It moves to a per-peer retry backlog and is re-shipped with
+capped exponential backoff (:class:`~repro.faults.RetryPolicy`); entries
+that exhaust their attempts are left to the anti-entropy repairer
+(:mod:`repro.core.consistency.repair`).  The queue tracks every
+(peer, key) delivery failure until something — a retry, a fresh write, or
+a repair round — lands that key on that peer, so ``outstanding_failures``
+is the live count of known replica divergence.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from typing import Generator, Optional
+
+from repro.faults.retry import RetryPolicy
+from repro.obs.api import get_obs
 
 
 class ProtocolError(RuntimeError):
@@ -49,7 +61,15 @@ class GlobalProtocol:
         return result
 
     def on_remove(self, instance, key: str,
-                  version: Optional[int] = None) -> Generator:
+                  version: Optional[int] = None,
+                  src: str = "app") -> Generator:
+        """Default remove: local + asynchronous propagation.
+
+        This matches the *eventual* propagation mode; protocols with a
+        synchronous or forwarded write path (MultiPrimaries,
+        PrimaryBackup) override it so removes follow the same propagation
+        mode as puts.
+        """
         removed = yield from instance.local_remove(key, version)
         self.broadcast_async(instance, "replica_remove",
                              {"key": key, "version": version}, size=256)
@@ -64,6 +84,10 @@ class GlobalProtocol:
         return
         yield  # pragma: no cover
 
+    def pending_count(self, instance) -> int:
+        """Updates still queued/backlogged for ``instance`` (0 if none)."""
+        return 0
+
     # -- shared helpers -------------------------------------------------------
     @staticmethod
     def update_args(instance, key: str, version: int, data: bytes) -> dict:
@@ -72,6 +96,12 @@ class GlobalProtocol:
         return {"key": key, "version": version,
                 "last_modified": meta.last_modified,
                 "origin": instance.instance_id, "data": data}
+
+    @staticmethod
+    def remove_args(instance, key: str, version: Optional[int]) -> dict:
+        return {"op": "remove", "key": key, "version": version,
+                "last_modified": instance.sim.now,
+                "origin": instance.instance_id}
 
     @staticmethod
     def broadcast_sync(instance, method: str, args: dict,
@@ -92,6 +122,32 @@ class GlobalProtocol:
             instance.node.send_oneway(peer.node, method, args, size=size)
 
 
+def _entry_sort_key(args: dict) -> tuple:
+    """Ordering key for queued entries: LWW time, then version.
+
+    A remove-all (version None) supersedes every earlier write of the key
+    at the same timestamp, hence the ``inf`` version stand-in.
+    """
+    version = args.get("version")
+    return (args["last_modified"],
+            float("inf") if version is None else version)
+
+
+def _supersedes(new: dict, old: dict) -> bool:
+    """True if ``new`` may replace ``old`` in a pending/backlog slot."""
+    return _entry_sort_key(new) >= _entry_sort_key(old)
+
+
+def _entry_size(args: dict) -> int:
+    data = args.get("data")
+    return len(data) + 512 if data is not None else 256
+
+
+def _entry_method(args: dict) -> str:
+    return ("replica_remove" if args.get("op") == "remove"
+            else "replica_update")
+
+
 class ReplicationQueue:
     """Per-instance queue of lazy updates (the ``queue`` response).
 
@@ -99,34 +155,113 @@ class ReplicationQueue:
     newest version ships, "to reduce on update traffic".  A background
     process flushes every ``interval`` seconds; ``drain`` flushes
     immediately and waits for delivery (used before consistency switches).
+
+    Failed sends go to a per-peer retry backlog (version-aware: a failed
+    entry never overwrites a newer one pending for the same key) and are
+    retried with capped, jittered exponential backoff on subsequent flush
+    rounds.  Entries that exhaust ``retry_policy.max_attempts`` rounds are
+    abandoned to anti-entropy repair; the (peer, key) divergence stays in
+    ``outstanding_failures`` until something delivers the key.
     """
 
-    def __init__(self, instance, interval: float):
+    def __init__(self, instance, interval: float,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.instance = instance
         self.interval = interval
+        self.retry_policy = retry_policy or RetryPolicy()
         self.pending: OrderedDict[str, dict] = OrderedDict()
+        self._backlog: dict[str, OrderedDict[str, dict]] = {}
+        self._attempts: dict[str, int] = {}      # peer -> failed rounds
+        self._retry_at: dict[str, float] = {}    # peer -> next-eligible time
+        self._outstanding: set[tuple[str, str]] = set()  # (peer, key)
+        self._rng = instance.rng.stream(f"{instance.instance_id}.replq")
         self._proc = None
         self.flushes = 0
         self.updates_sent = 0
         self.coalesced = 0
         self.send_failures = 0
+        self.retries = 0
+        self.repaired = 0
+        self.abandoned = 0
+        metrics = get_obs(instance.sim).metrics
+        labels = {"instance": instance.instance_id}
+        self._m_failures = metrics.counter("replication.send_failures",
+                                           **labels)
+        self._m_retries = metrics.counter("replication.retries", **labels)
+        self._m_repaired = metrics.counter("replication.repaired", **labels)
+        self._m_abandoned = metrics.counter("replication.abandoned", **labels)
+        self._m_dropped = metrics.counter("replication.pending_dropped",
+                                          **labels)
 
+    # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:
         if self._proc is None or not self._proc.is_alive:
             self._proc = self.instance.sim.process(
                 self._loop(), name=f"replq:{self.instance.instance_id}")
 
     def stop(self) -> None:
+        """Stop the flush loop; surface anything still queued as dropped."""
+        dropped = len(self.pending) + self.backlog_size()
+        if dropped:
+            self._m_dropped.inc(dropped)
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("queue stopped")
         self._proc = None
 
-    def enqueue(self, args: dict) -> None:
-        if args["key"] in self.pending:
-            self.coalesced += 1
-        self.pending[args["key"]] = args
-        self.pending.move_to_end(args["key"])
+    # -- bookkeeping ----------------------------------------------------------
+    def backlog_size(self) -> int:
+        return sum(len(entries) for entries in self._backlog.values())
 
+    @property
+    def outstanding_failures(self) -> int:
+        """(peer, key) deliveries that failed and have not yet been
+        repaired by a retry, a newer write, or anti-entropy."""
+        return len(self._outstanding)
+
+    def mark_delivered(self, peer_id: str, key: str) -> None:
+        """Record that ``key`` reached ``peer_id`` (any path, incl. repair)."""
+        if (peer_id, key) in self._outstanding:
+            self._outstanding.discard((peer_id, key))
+            self.repaired += 1
+            self._m_repaired.inc()
+        backlog = self._backlog.get(peer_id)
+        if backlog is not None:
+            backlog.pop(key, None)
+            if not backlog:
+                self._backlog.pop(peer_id, None)
+
+    def enqueue(self, args: dict) -> None:
+        key = args["key"]
+        current = self.pending.get(key)
+        if current is not None:
+            self.coalesced += 1
+            if not _supersedes(args, current):
+                return
+        self.pending[key] = args
+        self.pending.move_to_end(key)
+        # A fresh update ships to every peer on the next flush, making any
+        # older backlogged copy of the key redundant.
+        for peer_id in list(self._backlog):
+            stale = self._backlog[peer_id].get(key)
+            if stale is not None and _supersedes(args, stale):
+                self._backlog[peer_id].pop(key)
+                if not self._backlog[peer_id]:
+                    self._backlog.pop(peer_id)
+
+    def _requeue(self, peer_id: str, args: dict) -> None:
+        """Put a failed send back for retry, never burying a newer entry."""
+        key = args["key"]
+        fresh = self.pending.get(key)
+        if fresh is not None and _supersedes(fresh, args):
+            return  # the next flush ships something newer to this peer
+        backlog = self._backlog.setdefault(peer_id, OrderedDict())
+        current = backlog.get(key)
+        if current is not None and not _supersedes(args, current):
+            return
+        backlog[key] = args
+        backlog.move_to_end(key)
+
+    # -- the flush machinery ----------------------------------------------------
     def _loop(self) -> Generator:
         from repro.sim.kernel import Interrupt
         try:
@@ -137,31 +272,87 @@ class ReplicationQueue:
             return
 
     def flush(self) -> Generator:
-        """Ship everything pending to all peers, in parallel per peer."""
-        if not self.pending:
-            return
+        """Ship pending updates plus due retries, in parallel per peer."""
+        instance = self.instance
+        now = instance.sim.now
         batch = list(self.pending.values())
         self.pending.clear()
-        self.flushes += 1
-        instance = self.instance
-        calls = []
+        if batch:
+            self.flushes += 1
+        calls = []  # (call, peer_id, args, is_retry)
         for args in batch:
-            size = len(args["data"]) + 512
-            for peer in instance.peers.values():
-                call = instance.node.call(peer.node, "replica_update",
-                                          args, size=size)
+            size = _entry_size(args)
+            method = _entry_method(args)
+            for peer_id, peer in instance.peers.items():
+                call = instance.node.call(peer.node, method, args, size=size)
                 # A call may fail (peer down) before we get around to
                 # yielding on it; pre-defuse so the kernel treats the
                 # failure as handled either way.
                 call.defuse()
-                calls.append(call)
+                calls.append((call, peer_id, args, False))
+        # Due retries from the per-peer backlog.
+        for peer_id in list(self._backlog):
+            if now < self._retry_at.get(peer_id, 0.0):
+                continue
+            peer = instance.peers.get(peer_id)
+            if peer is None:
+                continue  # peer left the table; repair owns it now
+            entries = list(self._backlog.pop(peer_id).values())
+            for args in entries:
+                call = instance.node.call(peer.node, _entry_method(args),
+                                          args, size=_entry_size(args))
+                call.defuse()
+                calls.append((call, peer_id, args, True))
+                self.retries += 1
+                self._m_retries.inc()
         self.updates_sent += len(calls)
-        for call in calls:
+        failed_peers: set[str] = set()
+        healthy_peers: set[str] = set()
+        for call, peer_id, args, is_retry in calls:
             try:
                 yield call
             except Exception:
-                self.send_failures += 1
+                if not is_retry:
+                    self.send_failures += 1
+                    self._m_failures.inc()
+                self._outstanding.add((peer_id, args["key"]))
+                self._requeue(peer_id, args)
+                failed_peers.add(peer_id)
+            else:
+                healthy_peers.add(peer_id)
+                self.mark_delivered(peer_id, args["key"])
+        self._schedule_retries(failed_peers, healthy_peers, now)
+
+    def _schedule_retries(self, failed_peers: set, healthy_peers: set,
+                          now: float) -> None:
+        policy = self.retry_policy
+        for peer_id in healthy_peers - failed_peers:
+            # The peer answered again: forget its backoff history.
+            self._attempts.pop(peer_id, None)
+            self._retry_at.pop(peer_id, None)
+        for peer_id in failed_peers:
+            attempts = self._attempts.get(peer_id, 0) + 1
+            if attempts >= policy.max_attempts:
+                # Capped out: hand the divergence to anti-entropy repair.
+                abandoned = self._backlog.pop(peer_id, None)
+                if abandoned:
+                    self.abandoned += len(abandoned)
+                    self._m_abandoned.inc(len(abandoned))
+                self._attempts.pop(peer_id, None)
+                self._retry_at.pop(peer_id, None)
+            else:
+                self._attempts[peer_id] = attempts
+                self._retry_at[peer_id] = now + policy.backoff(
+                    attempts - 1, self._rng)
 
     def drain(self) -> Generator:
+        """Flush until empty; give the retry backlog a bounded last chance."""
         while self.pending:
             yield from self.flush()
+        rounds = 0
+        while self.backlog_size() and rounds < self.retry_policy.max_attempts:
+            yield self.instance.sim.timeout(
+                self.retry_policy.backoff(rounds, self._rng))
+            self._retry_at.clear()  # due immediately: we are draining
+            yield from self.flush()
+            rounds += 1

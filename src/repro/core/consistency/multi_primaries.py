@@ -56,6 +56,30 @@ class MultiPrimariesProtocol(GlobalProtocol):
         return {"version": version, "region": instance.region,
                 "consistency": self.name}
 
+    def on_remove(self, instance, key: str,
+                  version: Optional[int] = None,
+                  src: str = "app") -> Generator:
+        """Removes are writes: same lock + synchronous broadcast as puts.
+
+        The base-class async broadcast would let a concurrent get on a peer
+        observe the key after the remove returned — a silent violation of
+        the strong-consistency contract this protocol sells.
+        """
+        yield from instance.lock_client.acquire(key)
+        try:
+            removed = yield from instance.local_remove(key, version)
+            args = self.remove_args(instance, key, version)
+            yield from self.broadcast_sync(instance, "replica_remove", args,
+                                           size=256)
+        except GeneratorExit:
+            instance.lock_client.held.discard(key)
+            raise
+        except BaseException:
+            yield from instance.lock_client.release(key)
+            raise
+        yield from instance.lock_client.release(key)
+        return {"removed": removed, "strong": True}
+
     def on_get(self, instance, key: str,
                version: Optional[int] = None) -> Generator:
         # All replicas are synchronously up to date: local read is latest.

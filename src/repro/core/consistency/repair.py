@@ -1,0 +1,117 @@
+"""Anti-entropy repair: periodic per-peer digest exchange.
+
+The retry backlog (:class:`~repro.core.consistency.base.ReplicationQueue`)
+caps its attempts, so a long outage can still leave a replica behind.  The
+:class:`AntiEntropyRepairer` is the backstop: every ``interval`` seconds it
+pulls each peer's key digest (``{key: (latest_version, last_modified)}``)
+and pushes a full ``replica_update`` for every key where the local latest
+wins last-write-wins.  Push-only repair cannot resurrect *removed* keys on
+the remote side (a purged record is indistinguishable from a never-seen
+one); removes are instead retried by the queue itself.
+
+Repair is off by default — an idle repairer would perturb experiment
+timings — and enabled per Wiera instance via
+``GlobalPolicySpec.repair_interval``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.obs.api import get_obs
+from repro.sim.kernel import Interrupt
+
+
+class AntiEntropyRepairer:
+    """One background digest/repair loop for one Tiera instance."""
+
+    def __init__(self, instance, interval: float,
+                 queue_for: Optional[Callable] = None,
+                 should_push: Optional[Callable] = None):
+        self.instance = instance
+        self.interval = interval
+        # Hook back to the protocol's replication queue so a successful
+        # repair clears the matching outstanding-failure record.
+        self._queue_for = queue_for
+        # Gate for asymmetric protocols (PrimaryBackup: only the primary
+        # originates updates, so only it pushes repairs).
+        self._should_push = should_push
+        self._proc = None
+        self.rounds = 0
+        self.keys_pushed = 0
+        metrics = get_obs(instance.sim).metrics
+        labels = {"instance": instance.instance_id}
+        self._m_rounds = metrics.counter("repair.rounds", **labels)
+        self._m_pushed = metrics.counter("repair.keys_pushed", **labels)
+
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.instance.sim.process(
+                self._run(), name=f"repair:{self.instance.instance_id}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("repairer stopped")
+        self._proc = None
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.instance.sim.timeout(self.interval)
+                if self._should_push is not None \
+                        and not self._should_push(self.instance):
+                    continue
+                yield from self.repair_round()
+        except Interrupt:
+            return
+
+    def repair_round(self) -> Generator:
+        """Compare digests with every reachable peer; push stale keys."""
+        instance = self.instance
+        self.rounds += 1
+        self._m_rounds.inc()
+        for peer_id, peer in list(instance.peers.items()):
+            try:
+                digest = yield instance.node.call(peer.node, "digest", {})
+            except Exception:
+                continue  # unreachable peer: next round will see it
+            theirs = digest["keys"]
+            yield from self._push_stale(peer_id, peer, theirs)
+
+    def _push_stale(self, peer_id: str, peer, theirs: dict) -> Generator:
+        instance = self.instance
+        for record in list(instance.meta.records()):
+            meta = record.latest()
+            if meta is None:
+                continue
+            peer_version, peer_modified = theirs.get(record.key, (0, -1.0))
+            if (meta.last_modified, meta.version) <= (peer_modified,
+                                                      peer_version):
+                # The peer is already current for this key — possibly via a
+                # third replica's repair — so any recorded delivery failure
+                # for it is resolved divergence, not divergence.
+                self._mark_delivered(peer_id, record.key)
+                continue
+            try:
+                data, vmeta, _ = yield from instance.read_version(
+                    record.key, meta.version, run_rules=False)
+            except Exception:
+                continue  # lost locally between digest and read
+            args = {"key": record.key, "version": vmeta.version,
+                    "last_modified": vmeta.last_modified,
+                    "origin": vmeta.origin or instance.instance_id,
+                    "data": data}
+            try:
+                yield instance.node.call(peer.node, "replica_update", args,
+                                         size=len(data) + 512)
+            except Exception:
+                continue  # still unreachable; retry next round
+            self.keys_pushed += 1
+            self._m_pushed.inc()
+            self._mark_delivered(peer_id, record.key)
+
+    def _mark_delivered(self, peer_id: str, key: str) -> None:
+        if self._queue_for is not None:
+            queue = self._queue_for(self.instance)
+            if queue is not None:
+                queue.mark_delivered(peer_id, key)

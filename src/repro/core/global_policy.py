@@ -99,6 +99,9 @@ class GlobalPolicySpec:
     sync_replication: bool = True   # primary_backup: copy vs queue
     queue_interval: float = 1.0     # flush period for lazy replication
     get_from: Optional[str] = None  # None=local, "primary", or instance index tag
+    #: anti-entropy digest-exchange period; None disables repair entirely
+    #: (the default, so fault-free runs are bit-identical with or without it)
+    repair_interval: Optional[float] = None
     dynamic: Optional[DynamicConsistencySpec] = None
     change_primary: Optional[ChangePrimarySpec] = None
     cold: Optional[ColdDataSpec] = None

@@ -191,11 +191,13 @@ class TieraInstanceManager:
                 primary_id=primary_id,
                 sync_replication=spec.sync_replication,
                 queue_interval=spec.queue_interval,
-                get_from=self._resolve_instance_id(spec.get_from))
+                get_from=self._resolve_instance_id(spec.get_from),
+                repair_interval=spec.repair_interval)
             config.history.append((self.sim.now, primary_id))
             return PrimaryBackupProtocol(config)
         if name == "eventual":
-            return EventualConsistencyProtocol(spec.queue_interval)
+            return EventualConsistencyProtocol(
+                spec.queue_interval, repair_interval=spec.repair_interval)
         if name == "local":
             return LocalOnlyProtocol()
         raise WieraInstanceError(f"unknown protocol {name!r}")
@@ -216,7 +218,14 @@ class TieraInstanceManager:
             for rec in alive:
                 yield self.node.call(rec.node, "ctl_close_gate")
             for rec in alive:
-                yield self.node.call(rec.node, "ctl_drain")
+                drained = yield self.node.call(rec.node, "ctl_drain")
+                # A non-empty queue here would be silently dropped by the
+                # protocol swap below (detach counts it pending_dropped).
+                if drained.get("pending"):
+                    raise WieraInstanceError(
+                        f"{rec.instance_id}: {drained['pending']} queued "
+                        "replication entries survived ctl_drain; refusing "
+                        "to drop them in a consistency switch")
             new_protocol = self._build_protocol(to_name)
             yield from self._install_protocol(new_protocol)
             self.protocol = new_protocol

@@ -55,6 +55,7 @@ class Event:
         self._value: Any = PENDING
         self._ok = True
         self._defused = False
+        self._cancelled = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -99,6 +100,19 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so the kernel will not re-raise."""
         self._defused = True
+
+    def cancel(self) -> None:
+        """Discard a scheduled event: its callbacks will never run.
+
+        Used for the losing arm of a race (e.g. the deadline timer of
+        :func:`~repro.sim.rpc.call_with_timeout` when the call wins) so
+        abandoned timers don't accumulate on the event heap.  Cancelling a
+        processed event is a no-op.
+        """
+        if self.processed or self._cancelled:
+            return
+        self._cancelled = True
+        self.sim._note_cancel()
 
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
@@ -272,11 +286,16 @@ class AnyOf(_Condition):
 class Simulator:
     """The event loop.  All simulation state hangs off one instance."""
 
+    #: compact the heap once this many cancelled entries are buried in it
+    #: (and they make up more than half of the heap)
+    CANCEL_COMPACT_THRESHOLD = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, Event]] = []
         self._active_process: Optional[Process] = None
+        self._cancelled_pending = 0  # cancelled events still on the heap
         self._obs = None  # Observability bundle, installed by repro.obs
 
     @property
@@ -310,12 +329,29 @@ class Simulator:
         heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 
+    def _note_cancel(self) -> None:
+        self._cancelled_pending += 1
+        if (self._cancelled_pending > self.CANCEL_COMPACT_THRESHOLD
+                and self._cancelled_pending * 2 > len(self._heap)):
+            self._heap = [entry for entry in self._heap
+                          if not entry[2]._cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+
+    def _prune_head(self) -> None:
+        """Drop cancelled events from the head of the heap (lazy deletion)."""
+        while self._heap and self._heap[0][2]._cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled_pending -= 1
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._prune_head()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
         """Process exactly one event."""
+        self._prune_head()
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         when, _, event = heapq.heappop(self._heap)
@@ -338,13 +374,13 @@ class Simulator:
         and return its value).
         """
         if until is None:
-            while self._heap:
+            while self.peek() != float("inf"):
                 self.step()
             return None
         if isinstance(until, Event):
             sentinel = until
             while not sentinel.processed:
-                if not self._heap:
+                if self.peek() == float("inf"):
                     raise SimulationError(
                         "schedule drained before the awaited event fired")
                 self.step()
@@ -355,7 +391,7 @@ class Simulator:
         if deadline < self._now:
             raise SimulationError(
                 f"run(until={deadline}) is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= deadline:
+        while self.peek() <= deadline:
             self.step()
         self._now = deadline
         return None

@@ -203,15 +203,23 @@ def call_with_timeout(sim: Simulator, call: Process, timeout: float):
 
     Returns a generator suitable for ``yield from``; its value is the call
     result, or raises :class:`TimeoutError` if the deadline fires first.
-    The late call result is defused so it cannot crash the simulation.
+    The late call result is defused so it cannot crash the simulation, and
+    a losing deadline timer is cancelled so repeated short calls under a
+    long timeout (monitor probes) don't pile dead timers on the event heap.
     """
     deadline = sim.timeout(timeout, value=_TIMED_OUT)
-    winner = yield sim.any_of([call, deadline])
+    try:
+        winner = yield sim.any_of([call, deadline])
+    except BaseException:
+        # The call failed before the deadline: the timer lost the race.
+        deadline.cancel()
+        raise
     index, value = winner
     if value is _TIMED_OUT and index == 1:
         call.defuse()
         get_obs(sim).metrics.counter("rpc.timeouts").inc()
         raise TimeoutError(f"rpc call timed out after {timeout}s")
+    deadline.cancel()
     return value
 
 

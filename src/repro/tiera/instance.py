@@ -547,6 +547,8 @@ class TieraInstance:
         n.register("replica_update", self.rpc_replica_update)
         n.register("replica_remove", self.rpc_replica_remove)
         n.register("forward_put", self.rpc_forward_put)
+        n.register("forward_remove", self.rpc_forward_remove)
+        n.register("digest", self.rpc_digest)
         n.register("peer_get", self.rpc_peer_get)
         n.register("peer_has", self.rpc_peer_has)
         n.register("probe", self.rpc_probe)
@@ -659,6 +661,30 @@ class TieraInstance:
         self._notify_latency("put", self.sim.now - start, origin)
         return result
 
+    def rpc_forward_remove(self, msg: Message) -> Generator:
+        yield self.gate.wait()
+        start = self.sim.now
+        origin = msg.args.get("origin", msg.src)
+        self.note_request(origin)
+        self.inflight += 1
+        try:
+            result = yield from self.protocol.on_remove(
+                self, msg.args["key"], msg.args.get("version"), src=origin)
+        finally:
+            self.inflight -= 1
+        self._notify_latency("remove", self.sim.now - start, origin)
+        return result
+
+    def rpc_digest(self, msg: Message) -> Generator:
+        """Anti-entropy digest: latest (version, last_modified) per key."""
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        keys = {}
+        for record in self.meta.records():
+            meta = record.latest()
+            if meta is not None:
+                keys[record.key] = (meta.version, meta.last_modified)
+        return {"keys": keys, "instance": self.instance_id}
+
     def rpc_peer_get(self, msg: Message) -> Generator:
         data, meta, record = yield from self.read_version(
             msg.args["key"], msg.args.get("version"))
@@ -737,7 +763,10 @@ class TieraInstance:
         while self.inflight > 0:
             yield self.sim.timeout(0.005)
         yield from self.protocol.drain(self)
-        return {"drained": True}
+        # Report what is *still* queued so the caller (the TIM's
+        # switch_consistency) can refuse to silently drop it.
+        return {"drained": True,
+                "pending": self.protocol.pending_count(self)}
 
     def rpc_ctl_set_protocol(self, msg: Message) -> Generator:
         yield self.sim.timeout(0.0001)

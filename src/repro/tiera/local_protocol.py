@@ -42,7 +42,8 @@ class LocalOnlyProtocol:
         yield  # pragma: no cover
 
     def on_remove(self, instance, key: str,
-                  version: Optional[int] = None) -> Generator:
+                  version: Optional[int] = None,
+                  src: str = "app") -> Generator:
         removed = yield from instance.local_remove(key, version)
         return {"removed": removed}
 
@@ -50,3 +51,6 @@ class LocalOnlyProtocol:
         """Nothing queued in local mode."""
         return
         yield  # pragma: no cover
+
+    def pending_count(self, instance) -> int:
+        return 0

@@ -17,7 +17,10 @@ def percentile(samples: list[float], q: float) -> float:
     lo = int(math.floor(pos))
     hi = min(lo + 1, len(data) - 1)
     frac = pos - lo
-    return data[lo] * (1 - frac) + data[hi] * frac
+    # lo + diff*frac (not the two-product form): exact when both ends are
+    # equal, and clamped so rounding can never leave [data[lo], data[hi]].
+    value = data[lo] + (data[hi] - data[lo]) * frac
+    return min(max(value, data[lo]), data[hi])
 
 
 class OnlineStats:

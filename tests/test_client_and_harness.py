@@ -14,7 +14,6 @@ from repro.bench.reporting import (
 )
 from repro.net import ASIA_EAST, EU_WEST, US_EAST, US_WEST
 from repro.tiera.policy import memory_only_policy
-from repro.util.units import MS
 
 REGIONS = (US_EAST, US_WEST, EU_WEST)
 

@@ -1,11 +1,9 @@
 """Tests for the three consistency protocols over a live deployment."""
 
-import pytest
 
 from repro import GlobalPolicySpec, RegionPlacement, build_deployment
-from repro.core.consistency import PrimaryBackupProtocol
 from repro.net import ASIA_EAST, EU_WEST, US_EAST, US_WEST
-from repro.tiera.policy import memory_only_policy, write_back_policy
+from repro.tiera.policy import write_back_policy
 from repro.util.units import MS
 
 REGIONS = (US_EAST, US_WEST, EU_WEST)

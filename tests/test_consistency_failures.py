@@ -1,6 +1,5 @@
 """Consistency semantics under partial failure."""
 
-import pytest
 
 from repro import GlobalPolicySpec, RegionPlacement, build_deployment
 from repro.net import EU_WEST, US_EAST, US_WEST

@@ -11,7 +11,7 @@ from repro.storage.cost import (
     price_for,
     request_cost,
 )
-from repro.util.units import GB, HOUR, TB
+from repro.util.units import GB, HOUR
 
 
 @pytest.fixture

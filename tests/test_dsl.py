@@ -15,9 +15,7 @@ from repro.policydsl import (
 )
 from repro.policydsl.lexer import tokenize
 from repro.tiera.events import (
-    ColdDataEvent,
     FilledEvent,
-    InsertEvent,
     TimerEvent,
 )
 from repro.tiera.policy import LocalPolicy

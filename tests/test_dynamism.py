@@ -1,7 +1,6 @@
 """Tests for runtime dynamism: consistency switching, primary migration,
 gating/draining semantics, and the monitors driving them."""
 
-import pytest
 
 from repro import (
     ChangePrimarySpec,

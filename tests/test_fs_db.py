@@ -11,7 +11,7 @@ from repro.net import US_EAST, US_WEST
 from repro.sim import Simulator
 from repro.storage import make_tier
 from repro.tiera.policy import write_back_policy
-from repro.util.units import GB, KB, MB
+from repro.util.units import GB, KB
 
 
 @pytest.fixture

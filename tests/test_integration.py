@@ -4,9 +4,9 @@ import numpy as np
 import pytest
 
 from repro import GlobalPolicySpec, RegionPlacement, build_deployment
-from repro.net import ASIA_EAST, EU_WEST, US_EAST, US_WEST
+from repro.net import US_EAST, US_WEST
 from repro.net.topology import Topology
-from repro.policydsl import builtin_policy, compile_policy
+from repro.policydsl import builtin_policy
 from repro.tiera import InstanceTier
 from repro.tiera.policy import memory_only_policy
 from repro.util.units import KB, MS

@@ -1,6 +1,5 @@
 """Tests for get-load balancing (RequestsMonitoring + forward, §3.2.3)."""
 
-import pytest
 
 from repro import GlobalPolicySpec, RegionPlacement, build_deployment
 from repro.core import LoadBalanceSpec

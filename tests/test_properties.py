@@ -17,7 +17,6 @@ from repro.sim import Simulator
 from repro.storage import make_tier
 from repro.tiera import transforms
 from repro.tiera.objects import ObjectRecord, VersionMeta
-from repro.util.units import GB
 
 
 # ---------------------------------------------------------------------------

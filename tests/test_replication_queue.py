@@ -112,3 +112,83 @@ class TestFlushAndDrain:
         queue.start()
         queue.stop()
         queue.stop()
+
+
+class TestRetryBacklog:
+    def test_failed_send_lands_in_backlog_and_retries(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        eu = dep.instance("q", EU_WEST)
+        eu.host.down = True
+        queue = ReplicationQueue(east, interval=1000.0)
+        queue.enqueue(make_update(east, dep, "k", b"v"))
+
+        def flush():
+            yield from queue.flush()
+        dep.drive(flush())
+        assert queue.backlog_size() == 1
+        assert queue.outstanding_failures == 1
+        eu.host.down = False
+        # let the backoff window pass, then flush again: the retry ships
+        dep.sim.run(until=dep.sim.now + 10.0)
+        dep.drive(flush())
+        assert queue.backlog_size() == 0
+        assert queue.outstanding_failures == 0
+        assert queue.retries == 1
+        assert eu.meta.get_record("k") is not None
+
+    def test_retry_never_buries_newer_pending_write(self, world):
+        dep, _ = world
+        east = dep.instance("q", US_EAST)
+        eu = dep.instance("q", EU_WEST)
+        eu.host.down = True
+        queue = ReplicationQueue(east, interval=1000.0)
+        old = make_update(east, dep, "k", b"old")
+        queue.enqueue(old)
+
+        def flush():
+            yield from queue.flush()
+        dep.drive(flush())           # old fails into the backlog
+        new = make_update(east, dep, "k", b"new")
+        queue.enqueue(new)           # fresher write supersedes the retry
+        assert queue.backlog_size() == 0
+        eu.host.down = False
+        dep.sim.run(until=dep.sim.now + 10.0)
+        dep.drive(flush())
+        record = eu.meta.get_record("k")
+        assert record.latest_version == new["version"]
+
+    def test_capped_retries_abandon_to_anti_entropy(self, world):
+        dep, _ = world
+        from repro.faults import RetryPolicy
+        east = dep.instance("q", US_EAST)
+        dep.instance("q", EU_WEST).host.down = True
+        queue = ReplicationQueue(
+            east, interval=1000.0,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01,
+                                     jitter=0.0))
+        queue.enqueue(make_update(east, dep, "k", b"v"))
+
+        def flush():
+            yield from queue.flush()
+        for _ in range(4):
+            dep.drive(flush())
+            dep.sim.run(until=dep.sim.now + 1.0)
+        assert queue.abandoned == 1
+        assert queue.backlog_size() == 0
+        # ...but the divergence is still tracked until something repairs it
+        assert queue.outstanding_failures == 1
+        queue.mark_delivered(next(iter(queue._outstanding))[0], "k")
+        assert queue.outstanding_failures == 0
+        assert queue.repaired == 1
+
+    def test_stop_surfaces_dropped_entries(self, world):
+        dep, _ = world
+        from repro.obs.api import get_obs
+        east = dep.instance("q", US_EAST)
+        queue = ReplicationQueue(east, interval=1000.0)
+        queue.enqueue(make_update(east, dep, "k", b"v"))
+        queue.stop()
+        dropped = get_obs(dep.sim).metrics.counter(
+            "replication.pending_dropped", instance=east.instance_id)
+        assert dropped.value == 1

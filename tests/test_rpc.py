@@ -5,7 +5,6 @@ import pytest
 from repro.net import HostDownError, Network, US_EAST, US_WEST
 from repro.sim import Simulator
 from repro.sim.rpc import (
-    Message,
     NoSuchMethodError,
     RpcNode,
     call_with_timeout,

@@ -2,16 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    Event,
-    Interrupt,
-    Process,
-    SimulationError,
-    Simulator,
-    Timeout,
-)
+from repro.sim import Interrupt, SimulationError, Simulator
 
 
 @pytest.fixture

@@ -16,7 +16,7 @@ from repro.storage import (
     get_tier_profile,
     make_tier,
 )
-from repro.util.units import GB, HOUR, KB, MB, MS
+from repro.util.units import GB, HOUR, MB
 
 
 @pytest.fixture

@@ -18,14 +18,12 @@ from repro.tiera import (
     MoveResponse,
     ObjectSelector,
     Rule,
-    SetAttrResponse,
     StoreResponse,
     TieraError,
     TieraInstance,
     TierSpec,
 )
 from repro.tiera.policy import (
-    disk_only_policy,
     memory_only_policy,
     write_back_policy,
     write_through_policy,
