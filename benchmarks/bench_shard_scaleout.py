@@ -1,0 +1,136 @@
+"""Shard scale-out: throughput vs shard count (repro.shard).
+
+Runs the same YCSB-A closed-loop traffic against a namespace partitioned
+over 1 / 2 / 4 / 8 shards and reports, per shard count:
+
+* **ops/sec (sim)** — operations completed per second of *simulated*
+  time.  Closed-loop clients are latency-bound and the simulator has no
+  per-instance CPU model, so this stays flat across shard counts — the
+  partitioning adds no per-operation cost, which is itself the claim
+  under test (guards and routing are free on the hot path).
+* **kernel events/sec (wall)** — simulator events processed per second
+  of *wall-clock* time (``Simulator.events_processed``), the simulator's
+  own execution throughput as the deployment grows to 8 replica groups.
+
+Emits a machine-readable ``results/BENCH_shard_scaleout.json``.  Run as
+a script (``--quick`` shrinks the run for CI smoke) or via pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.bench.harness import build_deployment
+from repro.core.global_policy import GlobalPolicySpec, RegionPlacement
+from repro.net.topology import US_EAST, US_WEST
+from repro.tiera.policy import write_back_policy
+from repro.workloads.ycsb import YcsbClient, YcsbWorkload
+
+SHARD_COUNTS = (1, 2, 4, 8)
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _run_one(shards: int, duration: float, clients: int,
+             record_count: int) -> dict:
+    dep = build_deployment([US_EAST, US_WEST], seed=11, shards=shards)
+    spec = GlobalPolicySpec(
+        name="scale",
+        placements=(RegionPlacement(US_EAST, write_back_policy()),
+                    RegionPlacement(US_WEST, write_back_policy())),
+        consistency="multi_primaries")
+    handle = dep.start_sharded_instance("scale", spec)
+    workload = YcsbWorkload.workload_a(record_count=record_count,
+                                       value_size=256)
+    drivers = []
+    for i in range(clients):
+        region = (US_WEST, US_EAST)[i % 2]
+        client = dep.add_client(region, sharded=handle)
+        rng = dep.rng.stream(f"ycsb{i}")
+        drivers.append(YcsbClient(dep.sim, client, workload, rng,
+                                  think_time=0.01))
+    dep.drive(drivers[0].load())
+
+    started_wall = time.perf_counter()
+    started_sim = dep.sim.now
+    started_events = dep.sim.events_processed
+    for driver in drivers:
+        driver.start()
+    dep.sim.run(until=dep.sim.now + duration)
+    for driver in drivers:
+        driver.stop()
+    dep.sim.run(until=dep.sim.now + 1.0)
+    wall = time.perf_counter() - started_wall
+    sim_elapsed = dep.sim.now - started_sim
+    events = dep.sim.events_processed - started_events
+    ops = sum(driver.stats.ops for driver in drivers)
+    errors = sum(driver.stats.errors for driver in drivers)
+    return {
+        "shards": shards,
+        "ops": ops,
+        "errors": errors,
+        "sim_seconds": round(sim_elapsed, 6),
+        "ops_per_sim_sec": round(ops / sim_elapsed, 3),
+        "kernel_events": events,
+        "kernel_events_per_wall_sec": round(events / wall, 1),
+        "wall_seconds": round(wall, 4),
+    }
+
+
+def run(quick: bool = False) -> dict:
+    duration = 20.0 if quick else 120.0
+    clients = 2 if quick else 4
+    record_count = 100 if quick else 400
+    rows = [_run_one(shards, duration, clients, record_count)
+            for shards in SHARD_COUNTS]
+    return {
+        "benchmark": "shard_scaleout",
+        "workload": "ycsb-a",
+        "quick": quick,
+        "duration_sim_sec": duration,
+        "clients": clients,
+        "record_count": record_count,
+        "rows": rows,
+    }
+
+
+def emit(result: dict) -> Path:
+    RESULTS.mkdir(exist_ok=True)
+    out = RESULTS / "BENCH_shard_scaleout.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    return out
+
+
+def test_shard_scaleout(benchmark):
+    result = benchmark.pedantic(run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    emit(result)
+    by_shards = {row["shards"]: row for row in result["rows"]}
+    assert set(by_shards) == set(SHARD_COUNTS)
+    for row in result["rows"]:
+        assert row["ops"] > 0
+    # Splitting the namespace must not shrink throughput materially.
+    assert (by_shards[4]["ops_per_sim_sec"]
+            >= 0.8 * by_shards[1]["ops_per_sim_sec"])
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short CI-smoke run (20s sim, 2 clients)")
+    args = parser.parse_args()
+    result = run(quick=args.quick)
+    out = emit(result)
+    header = f"{'shards':>6} {'ops':>8} {'ops/sim-s':>10} {'kev/wall-s':>11}"
+    print(header)
+    for row in result["rows"]:
+        print(f"{row['shards']:>6} {row['ops']:>8} "
+              f"{row['ops_per_sim_sec']:>10.1f} "
+              f"{row['kernel_events_per_wall_sec']:>11.0f}")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -35,11 +35,13 @@ from repro.core import (
     FailureSpec,
     GlobalPolicySpec,
     RegionPlacement,
+    ShardSpec,
     WieraClient,
     WieraService,
 )
 from repro.faults import FaultEvent, FaultSchedule, RetryPolicy
 from repro.obs import MetricsRegistry, Observability, get_obs
+from repro.shard import HashRing, ShardHandle, ShardMap
 from repro.sim import Simulator
 from repro.net import Network
 
@@ -62,6 +64,10 @@ __all__ = [
     "ChangePrimarySpec",
     "ColdDataSpec",
     "FailureSpec",
+    "ShardSpec",
+    "HashRing",
+    "ShardHandle",
+    "ShardMap",
     "FaultEvent",
     "FaultSchedule",
     "RetryPolicy",

@@ -18,6 +18,9 @@ from repro.core.wiera import WieraService
 from repro.net.network import Network
 from repro.net.topology import US_EAST, Topology
 from repro.obs.api import Observability, get_obs
+from repro.shard.map import ShardHandle
+from repro.shard.ring import DEFAULT_VNODES
+from repro.shard.router import ShardRouter
 from repro.sim.kernel import Simulator
 from repro.storage.cost import CostLedger
 from repro.tiera.objects import ObjectRecord, VersionMeta, storage_key
@@ -38,6 +41,8 @@ class Deployment:
     clients: dict = field(default_factory=dict)
     obs: Optional[Observability] = None
     faults: Optional[FaultSchedule] = None
+    #: default shard count for start_sharded_instance (1 = unsharded)
+    shards: int = 1
 
     # -- driving -------------------------------------------------------------
     def drive(self, gen: Generator, name: str = "main"):
@@ -49,20 +54,51 @@ class Deployment:
         return self.drive(self.wiera.start_instances(wiera_id, spec),
                           name=f"start:{wiera_id}")
 
+    def start_sharded_instance(self, wiera_id: str,
+                               spec: GlobalPolicySpec) -> ShardHandle:
+        """Start one namespace across N shards (repro.shard).
+
+        The shard count comes from ``spec.sharding`` when set, else the
+        deployment default (``build_deployment(shards=N)``).  With one
+        shard this delegates to :meth:`start_wiera_instance` — no
+        manager, no guards, no router — so ``shards=1`` runs are
+        bit-identical to pre-sharding behavior.
+        """
+        sharding = spec.sharding
+        n = sharding.shards if sharding is not None else self.shards
+        vnodes = sharding.vnodes if sharding is not None else DEFAULT_VNODES
+        if n <= 1:
+            instances = self.start_wiera_instance(wiera_id, spec)
+            return ShardHandle(base_id=wiera_id, instances=instances)
+        shard_map = self.drive(
+            self.wiera.start_sharded_instances(wiera_id, spec, n,
+                                               vnodes=vnodes),
+            name=f"start:{wiera_id}")
+        return ShardHandle(base_id=wiera_id,
+                           instances=shard_map.all_instances(),
+                           map=shard_map)
+
     # -- construction helpers ----------------------------------------------------
     def add_client(self, region: str, provider: str = "aws",
                    vm: str = "generic", name: Optional[str] = None,
                    instances: Optional[list[dict]] = None,
                    request_timeout: Optional[float] = None,
-                   retry_policy: Optional[RetryPolicy] = None) -> WieraClient:
+                   retry_policy: Optional[RetryPolicy] = None,
+                   sharded: Optional[ShardHandle] = None) -> WieraClient:
         cname = name or f"client-{region}-{len(self.clients)}"
         host = self.network.add_host(cname, region, provider, vm)
         client = WieraClient(self.sim, self.network, host, name=cname,
                              request_timeout=request_timeout,
                              retry_policy=retry_policy,
                              rng=self.rng.stream(f"{cname}.retry"))
+        if sharded is not None and instances is None:
+            instances = sharded.instances
         if instances is not None:
             client.attach(instances)
+        if sharded is not None and sharded.map is not None:
+            router = ShardRouter(client, self.wiera.node, sharded.base_id)
+            router.install(sharded.map)
+            client.router = router
         self.clients[cname] = client
         return client
 
@@ -113,7 +149,8 @@ def build_deployment(regions: Sequence[str],
                      topology: Optional[Topology] = None,
                      with_ledger: bool = False,
                      heartbeat_interval: float = 5.0,
-                     with_tracing: bool = False) -> Deployment:
+                     with_tracing: bool = False,
+                     shards: int = 1) -> Deployment:
     """Stand up Wiera + one Tiera server per (region, provider).
 
     ``providers`` maps region -> iterable of providers (default: aws only).
@@ -122,6 +159,9 @@ def build_deployment(regions: Sequence[str],
     ``with_tracing`` turns on span recording (metrics are always live);
     the Chrome trace can then be dumped via
     :func:`repro.bench.reporting.dump_observability`.
+    ``shards`` sets the default partition count used by
+    :meth:`Deployment.start_sharded_instance`; the default of 1 keeps
+    every deployment unsharded and bit-identical to pre-shard behavior.
     """
     sim = Simulator()
     obs = get_obs(sim)
@@ -133,7 +173,7 @@ def build_deployment(regions: Sequence[str],
     wiera = WieraService(sim, network, region=wiera_region,
                          heartbeat_interval=heartbeat_interval)
     dep = Deployment(sim=sim, network=network, rng=rng, wiera=wiera,
-                     ledger=ledger, obs=obs)
+                     ledger=ledger, obs=obs, shards=shards)
     for region in regions:
         for provider in (providers or {}).get(region, ("aws",)):
             vm = server_vm

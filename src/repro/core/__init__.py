@@ -19,6 +19,7 @@ from repro.core.global_policy import (
     GlobalPolicySpec,
     LoadBalanceSpec,
     RegionPlacement,
+    ShardSpec,
 )
 from repro.core.loadbalance import LoadBalancer
 from repro.core.tim import TieraInstanceManager, WieraInstanceError
@@ -48,6 +49,7 @@ __all__ = [
     "ChangePrimarySpec",
     "ColdDataSpec",
     "FailureSpec",
+    "ShardSpec",
     "TieraInstanceManager",
     "WieraInstanceError",
     "TieraServerManager",

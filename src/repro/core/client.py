@@ -22,12 +22,18 @@ from typing import Generator, Optional
 from repro.faults.retry import RetryPolicy
 from repro.net.network import Host, HostDownError, Network, NetworkError
 from repro.obs.api import get_obs
+from repro.shard.map import WrongShardError
 from repro.sim.kernel import Simulator
 from repro.sim.rpc import RpcError, RpcNode, call_with_timeout
 from repro.util.stats import LatencyRecorder
 
 #: errors that mean "try another instance", not "the request is invalid"
 FAILOVER_ERRORS = (HostDownError, NetworkError, TimeoutError, RpcError)
+
+#: shard-map refreshes allowed per operation before treating the
+#: epoch-mismatch as a failed attempt (a redirect loop means the service
+#: itself is behind, which backoff — not more refreshes — resolves)
+MAX_REDIRECTS = 4
 
 
 class NoInstanceAvailableError(RuntimeError):
@@ -48,6 +54,9 @@ class WieraClient:
         self.node = RpcNode(sim, network, host,
                             name=name or f"client:{host.name}")
         self.instances: list[dict] = []      # proximity-ordered
+        #: per-key routing against a cached ShardMap (sharded namespaces
+        #: only; None leaves the classic proximity sweep untouched)
+        self.router = None
         self.request_timeout = request_timeout
         self.retry_policy = retry_policy
         self._rng = rng
@@ -87,6 +96,15 @@ class WieraClient:
             raise NoInstanceAvailableError("client has no instances attached")
         return self.instances
 
+    def _candidates_for(self, args: dict):
+        """Candidate sweep order: the owning shard's instances when a
+        router is installed and the operation is keyed, else all."""
+        if self.router is not None:
+            key = args.get("key")
+            if key is not None:
+                return self.router.candidates(key)
+        return self._candidates()
+
     def _call_one(self, info: dict, method: str, args: dict,
                   size: int) -> Generator:
         """One RPC to one instance, bounded by ``request_timeout`` if set."""
@@ -99,29 +117,46 @@ class WieraClient:
         return result
 
     def _invoke(self, method: str, args: dict, size: int) -> Generator:
-        """Call the closest instance, failing over down the list; retry the
-        whole sweep with backoff when a retry policy is configured."""
+        """Call the closest (owning) instance, failing over down the list;
+        retry the whole sweep with backoff when a retry policy is
+        configured.  A ``WrongShardError`` redirect — the contacted shard
+        runs a newer map epoch — refreshes the cached shard map and
+        re-routes immediately without consuming a backoff attempt."""
         policy = self.retry_policy
         attempts = policy.max_attempts if policy is not None else 1
         last_error: Optional[Exception] = None
-        for attempt in range(attempts):
+        attempt = 0
+        redirects = 0
+        while attempt < attempts:
             if attempt > 0:
                 self.retries += 1
                 self._retry_counter.inc()
                 yield self.sim.timeout(policy.backoff(attempt - 1,
                                                       rng=self._rng))
-            for info in self._candidates():
+            redirected = False
+            for info in self._candidates_for(args):
                 if info.get("down"):
                     continue
                 try:
                     result = yield from self._call_one(info, method, args,
                                                        size=size)
                     return result, info
+                except WrongShardError as exc:
+                    last_error = exc
+                    redirected = True
+                    break   # stale map: same-shard failover is pointless
                 except FAILOVER_ERRORS as exc:
                     last_error = exc
                     self.failovers += 1
                     self._failover_counter.inc()
                     continue
+            if redirected and self.router is not None \
+                    and redirects < MAX_REDIRECTS:
+                redirects += 1
+                self.router.note_redirect()
+                yield from self.router.refresh()
+                continue
+            attempt += 1
         raise NoInstanceAvailableError(
             f"all instances unreachable for {method}: {last_error}")
 

@@ -93,17 +93,13 @@ class AntiEntropyRepairer:
                 self._mark_delivered(peer_id, record.key)
                 continue
             try:
-                data, vmeta, _ = yield from instance.read_version(
-                    record.key, meta.version, run_rules=False)
+                args = yield from instance.replica_args(record.key,
+                                                        meta.version)
             except Exception:
                 continue  # lost locally between digest and read
-            args = {"key": record.key, "version": vmeta.version,
-                    "last_modified": vmeta.last_modified,
-                    "origin": vmeta.origin or instance.instance_id,
-                    "data": data}
             try:
                 yield instance.node.call(peer.node, "replica_update", args,
-                                         size=len(data) + 512)
+                                         size=len(args["data"]) + 512)
             except Exception:
                 continue  # still unreachable; retry next round
             self.keys_pushed += 1

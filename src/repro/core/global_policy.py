@@ -81,6 +81,23 @@ class LoadBalanceSpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """Partition the namespace across ``shards`` replica groups by
+    consistent hashing (repro.shard).  ``shards=1`` means unsharded —
+    the namespace runs as a single classic Wiera instance and every
+    existing code path is bit-identical."""
+
+    shards: int = 1
+    vnodes: int = 128
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1: {self.shards}")
+        if self.vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {self.vnodes}")
+
+
+@dataclass(frozen=True)
 class FailureSpec:
     """Keep at least ``min_replicas`` instances alive (§4.4)."""
 
@@ -102,6 +119,8 @@ class GlobalPolicySpec:
     #: anti-entropy digest-exchange period; None disables repair entirely
     #: (the default, so fault-free runs are bit-identical with or without it)
     repair_interval: Optional[float] = None
+    #: keyspace partitioning; None/shards=1 -> one classic instance
+    sharding: Optional[ShardSpec] = None
     dynamic: Optional[DynamicConsistencySpec] = None
     change_primary: Optional[ChangePrimarySpec] = None
     cold: Optional[ColdDataSpec] = None

@@ -129,18 +129,22 @@ class TieraInstanceManager:
         instance.wiera = self
         instance.lock_client = GlobalLockClient(instance.node, self.lock_node)
 
+    def alive_records(self) -> list[InstanceRecord]:
+        """The instance records still serving (shared by switches,
+        recovery, and the shard rebalancer)."""
+        return [rec for rec in self.instances.values() if not rec.down]
+
     def _propagate_peers(self) -> Generator:
-        refs = {iid: rec.ref for iid, rec in self.instances.items()
-                if not rec.down}
+        refs = {rec.instance_id: rec.ref for rec in self.alive_records()}
         calls = [self.node.call(rec.node, "ctl_set_peers", {"peers": refs})
-                 for rec in self.instances.values() if not rec.down]
+                 for rec in self.alive_records()]
         for call in calls:
             yield call
 
     def _install_protocol(self, protocol) -> Generator:
         calls = [self.node.call(rec.node, "ctl_set_protocol",
                                 {"protocol": protocol})
-                 for rec in self.instances.values() if not rec.down]
+                 for rec in self.alive_records()]
         for call in calls:
             yield call
 
@@ -214,7 +218,7 @@ class TieraInstanceManager:
                                    component=self.node.name,
                                    to=to_name) as span:
             span.set(**{"from": from_name})
-            alive = [rec for rec in self.instances.values() if not rec.down]
+            alive = self.alive_records()
             for rec in alive:
                 yield self.node.call(rec.node, "ctl_close_gate")
             for rec in alive:
@@ -255,7 +259,7 @@ class TieraInstanceManager:
                                    component=self.node.name,
                                    to=new_primary_id) as span:
             span.set(**{"from": old_id})
-            alive = [rec for rec in self.instances.values() if not rec.down]
+            alive = self.alive_records()
             for rec in alive:
                 yield self.node.call(rec.node, "ctl_close_gate")
             old_rec = self.instances.get(old_id)

@@ -19,6 +19,8 @@ from repro.core.tim import TieraInstanceManager
 from repro.core.tsm import TieraServerManager
 from repro.net.network import Host, Network
 from repro.net.topology import US_EAST
+from repro.shard.map import ShardManager, ShardMap
+from repro.shard.ring import DEFAULT_VNODES
 from repro.sim.kernel import Simulator
 from repro.sim.rpc import Message, RpcNode
 
@@ -49,11 +51,15 @@ class WieraService:
         # GPM state: policy id -> spec; TIMs: wiera instance id -> TIM.
         self.policies: dict[str, GlobalPolicySpec] = {}
         self.tims: dict[str, TieraInstanceManager] = {}
+        # Sharded namespaces: base id -> ShardManager (each shard is an
+        # ordinary Wiera instance named "{base}-s{i}" in self.tims).
+        self.shard_managers: dict[str, ShardManager] = {}
         self.tsm = TieraServerManager(sim, self.node,
                                       heartbeat_interval=heartbeat_interval)
         self.node.register("start_instances", self.rpc_start_instances)
         self.node.register("stop_instances", self.rpc_stop_instances)
         self.node.register("get_instances", self.rpc_get_instances)
+        self.node.register("get_shard_map", self.rpc_get_shard_map)
 
     # -- WUI API (Table 1), coroutine form -------------------------------------
     def start_instances(self, wiera_instance_id: str,
@@ -83,6 +89,36 @@ class WieraService:
             raise WieraError(f"no wiera instance {wiera_instance_id!r}")
         return tim.instance_list()
 
+    # -- sharded namespaces (repro.shard) -------------------------------------
+    def start_sharded_instances(self, base_id: str, spec: GlobalPolicySpec,
+                                shards: int,
+                                vnodes: int = DEFAULT_VNODES) -> Generator:
+        """Launch ``shards`` Wiera instances partitioning one namespace
+        and publish the epoch-1 shard map."""
+        if base_id in self.shard_managers:
+            raise WieraError(f"sharded namespace {base_id!r} exists")
+        if base_id in self.tims:
+            raise WieraError(f"{base_id!r} already names a wiera instance")
+        manager = ShardManager(self.sim, self, base_id, spec, shards,
+                               vnodes=vnodes)
+        self.shard_managers[base_id] = manager
+        try:
+            shard_map = yield from manager.launch()
+        except BaseException:
+            self.shard_managers.pop(base_id, None)
+            raise
+        return shard_map
+
+    def shard_manager(self, base_id: str) -> ShardManager:
+        try:
+            return self.shard_managers[base_id]
+        except KeyError:
+            raise WieraError(
+                f"no sharded namespace {base_id!r}") from None
+
+    def get_shard_map(self, base_id: str) -> ShardMap:
+        return self.shard_manager(base_id).map
+
     # -- WUI API, RPC form ---------------------------------------------------
     def rpc_start_instances(self, msg: Message) -> Generator:
         instances = yield from self.start_instances(
@@ -96,6 +132,12 @@ class WieraService:
     def rpc_get_instances(self, msg: Message) -> Generator:
         yield self.sim.timeout(0.0001)
         return {"instances": self.get_instances(msg.args["wiera_instance_id"])}
+
+    def rpc_get_shard_map(self, msg: Message) -> Generator:
+        """Serve the current shard map (clients call this on a
+        ``WrongShardError`` redirect to recover from a stale epoch)."""
+        yield self.sim.timeout(0.0001)
+        return {"map": self.get_shard_map(msg.args["base_id"])}
 
     # -- server bootstrap helper ----------------------------------------------
     def register_servers(self, servers) -> Generator:

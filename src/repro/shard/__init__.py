@@ -1,0 +1,40 @@
+"""repro.shard: consistent-hash partitioned namespace with live rebalancing.
+
+Layered over the existing core: the keyspace is split across N ordinary
+Wiera instances by a deterministic :class:`HashRing`; the authoritative
+epoch-numbered :class:`ShardMap` lives in a :class:`ShardManager` on the
+WieraService; clients route per key through a
+:class:`~repro.shard.router.ShardRouter`; and a
+:class:`~repro.shard.rebalance.Rebalancer` grows/shrinks the shard set
+live, moving only the remapped key ranges.  Sharding is opt-in
+(``build_deployment(shards=1)`` is the default and leaves every existing
+code path untouched).
+"""
+
+from repro.shard.map import (
+    HandoffSpec,
+    ShardError,
+    ShardGuard,
+    ShardHandle,
+    ShardManager,
+    ShardMap,
+    WrongShardError,
+)
+from repro.shard.rebalance import Rebalancer
+from repro.shard.ring import DEFAULT_VNODES, HashRing, hash_point
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "HashRing",
+    "hash_point",
+    "HandoffSpec",
+    "Rebalancer",
+    "ShardError",
+    "ShardGuard",
+    "ShardHandle",
+    "ShardManager",
+    "ShardMap",
+    "ShardRouter",
+    "WrongShardError",
+]

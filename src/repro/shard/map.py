@@ -1,0 +1,221 @@
+"""Shard map, ownership guard, and the per-namespace shard manager.
+
+A sharded namespace is N ordinary Wiera instances (``{base}-s0`` ..
+``{base}-sN``), each running its own consistency protocol over its own
+replica group, with the keyspace split between them by a
+:class:`~repro.shard.ring.HashRing`.  The :class:`ShardManager` on the
+WieraService owns the authoritative, epoch-numbered :class:`ShardMap`;
+clients cache a snapshot and instances enforce it with a
+:class:`ShardGuard`.
+
+The epoch/redirect protocol: every map publication bumps ``epoch``.  An
+instance whose guard says a key belongs elsewhere raises
+:class:`WrongShardError` (carrying its epoch) instead of serving the
+request; the client catches it, refreshes its cached map from the
+service (``get_shard_map``), and retries against the new owner.  A stale
+client therefore never silently reads or writes the wrong shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.obs.api import get_obs
+from repro.shard.ring import DEFAULT_VNODES, HashRing
+
+
+class ShardError(RuntimeError):
+    pass
+
+
+class WrongShardError(RuntimeError):
+    """The contacted shard does not own the key under its current map.
+
+    Deliberately *not* a NetworkError/RpcError subclass: the client must
+    treat it as a redirect (refresh the map, re-route), not as an
+    instance failure to sweep past.
+    """
+
+    def __init__(self, message: str, key: str, owner: str, epoch: int):
+        super().__init__(message)
+        self.key = key
+        self.owner = owner     # shard id that owns the key now
+        self.epoch = epoch     # epoch of the rejecting guard
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """One immutable published partition of the namespace."""
+
+    epoch: int
+    ring: HashRing
+    #: shard id -> instance-info dicts (the ``instance_list()`` shape)
+    shards: dict[str, tuple[dict, ...]] = field(default_factory=dict)
+
+    def owner(self, key: str) -> str:
+        return self.ring.owner(key)
+
+    def instances_for(self, key: str) -> tuple[dict, ...]:
+        return self.shards[self.ring.owner(key)]
+
+    def all_instances(self) -> list[dict]:
+        return [info for shard_id in sorted(self.shards)
+                for info in self.shards[shard_id]]
+
+
+class ShardGuard:
+    """Server-side ownership check installed on every Tiera instance.
+
+    The guard is shipped to instances over ``ctl_set_shard`` so the tiera
+    layer never imports shard code; it only calls ``check(key)`` on the
+    app-facing RPC paths.
+    """
+
+    def __init__(self, shard_id: str, ring: HashRing, epoch: int):
+        self.shard_id = shard_id
+        self.ring = ring
+        self.epoch = epoch
+
+    def owns(self, key: str) -> bool:
+        return self.ring.owner(key) == self.shard_id
+
+    def check(self, key: str) -> None:
+        owner = self.ring.owner(key)
+        if owner != self.shard_id:
+            raise WrongShardError(
+                f"{key!r} belongs to {owner} (epoch {self.epoch}), "
+                f"not {self.shard_id}", key=key, owner=owner,
+                epoch=self.epoch)
+
+    def __repr__(self) -> str:
+        return f"<ShardGuard {self.shard_id} epoch={self.epoch}>"
+
+
+class HandoffSpec:
+    """Dual-write window descriptor installed on a migration *source*.
+
+    While a rebalance is in flight, every acknowledged write on the
+    source shard whose key moves under ``ring_new`` is also forwarded
+    (fire-and-forget ``replica_update``/``replica_remove``) to all
+    instances of the key's new owner, so the destination converges live
+    and the final cutover sweep only has to cover forwards lost to
+    faults.
+    """
+
+    def __init__(self, shard_id: str, ring_new: HashRing,
+                 dest_nodes: dict[str, tuple]):
+        self.shard_id = shard_id
+        self.ring_new = ring_new
+        self._dest_nodes = dest_nodes   # shard id -> tuple[RpcNode]
+
+    def moves(self, key: str) -> Optional[str]:
+        """The new owning shard id if ``key`` leaves this shard, else None."""
+        owner = self.ring_new.owner(key)
+        return owner if owner != self.shard_id else None
+
+    def dest_nodes(self, shard_id: str) -> tuple:
+        return self._dest_nodes.get(shard_id, ())
+
+
+@dataclass
+class ShardHandle:
+    """What the harness hands back for one (possibly sharded) namespace."""
+
+    base_id: str
+    instances: list[dict]
+    map: Optional[ShardMap] = None   # None when shards=1 (plain instance)
+
+    @property
+    def sharded(self) -> bool:
+        return self.map is not None
+
+
+class ShardManager:
+    """Authoritative shard state for one sharded namespace.
+
+    Lives on the WieraService; launches the per-shard Wiera instances,
+    publishes :class:`ShardMap` epochs, and installs/updates the guards.
+    Add/remove of shards delegates the data motion to
+    :class:`~repro.shard.rebalance.Rebalancer`.
+    """
+
+    def __init__(self, sim, wiera, base_id: str, spec,
+                 shards: int, vnodes: int = DEFAULT_VNODES):
+        if shards < 1:
+            raise ShardError("a sharded namespace needs at least one shard")
+        self.sim = sim
+        self.wiera = wiera
+        self.base_id = base_id
+        self.spec = spec
+        self.vnodes = vnodes
+        self.initial_shards = shards
+        self._seq = 0              # next shard ordinal
+        self.epoch = 0
+        self.map: Optional[ShardMap] = None
+        self._obs = get_obs(sim)
+        self._g_epoch = self._obs.metrics.gauge("shard.epoch",
+                                                namespace=base_id)
+        self._g_shards = self._obs.metrics.gauge("shard.count",
+                                                 namespace=base_id)
+
+    # -- bootstrap -----------------------------------------------------------
+    def launch(self) -> Generator:
+        """Start the initial shard set and publish epoch 1."""
+        ring = HashRing(vnodes=self.vnodes)
+        shards: dict[str, tuple[dict, ...]] = {}
+        for _ in range(self.initial_shards):
+            shard_id = self._next_shard_id()
+            instances = yield from self.wiera.start_instances(
+                shard_id, self.spec)
+            ring.add(shard_id)
+            shards[shard_id] = tuple(instances)
+        self.publish(ring, shards)
+        yield from self.install_guards(self.map)
+        return self.map
+
+    def _next_shard_id(self) -> str:
+        shard_id = f"{self.base_id}-s{self._seq}"
+        self._seq += 1
+        return shard_id
+
+    # -- map publication -----------------------------------------------------
+    def publish(self, ring: HashRing,
+                shards: dict[str, tuple[dict, ...]]) -> ShardMap:
+        return self.commit(ShardMap(epoch=self.epoch + 1, ring=ring,
+                                    shards=dict(shards)))
+
+    def commit(self, shard_map: ShardMap) -> ShardMap:
+        """Make ``shard_map`` the authoritative published map."""
+        if shard_map.epoch != self.epoch + 1:
+            raise ShardError(
+                f"epoch must advance by one: {self.epoch} -> "
+                f"{shard_map.epoch}")
+        self.epoch = shard_map.epoch
+        self.map = shard_map
+        self._g_epoch.set(self.epoch)
+        self._g_shards.set(len(shard_map.shards))
+        return self.map
+
+    def install_guards(self, shard_map: ShardMap) -> Generator:
+        """Push a guard for ``shard_map`` to every instance of every shard."""
+        for shard_id in sorted(shard_map.shards):
+            guard = ShardGuard(shard_id, shard_map.ring, shard_map.epoch)
+            for info in shard_map.shards[shard_id]:
+                yield self.wiera.node.call(info["node"], "ctl_set_shard",
+                                           {"guard": guard})
+
+    # -- elasticity ----------------------------------------------------------
+    def add_shard(self, retry_policy=None) -> Generator:
+        """Grow the namespace by one shard, migrating only remapped ranges."""
+        from repro.shard.rebalance import Rebalancer
+        rebalancer = Rebalancer(self, retry_policy=retry_policy)
+        result = yield from rebalancer.add_shard()
+        return result
+
+    def remove_shard(self, shard_id: str, retry_policy=None) -> Generator:
+        """Shrink the namespace, draining ``shard_id``'s keys to the rest."""
+        from repro.shard.rebalance import Rebalancer
+        rebalancer = Rebalancer(self, retry_policy=retry_policy)
+        result = yield from rebalancer.remove_shard(shard_id)
+        return result

@@ -297,6 +297,9 @@ class Simulator:
         self._active_process: Optional[Process] = None
         self._cancelled_pending = 0  # cancelled events still on the heap
         self._obs = None  # Observability bundle, installed by repro.obs
+        #: events processed since construction — the denominator for
+        #: wall-clock kernel throughput (events/sec) in benchmarks
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -356,6 +359,7 @@ class Simulator:
             raise SimulationError("step() on an empty schedule")
         when, _, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         for callback in callbacks:

@@ -106,6 +106,18 @@ class TieraInstance:
         # applied first", §3.3.2).
         self.inflight = 0
 
+        # Keyspace partitioning (repro.shard).  Both objects are shipped
+        # in over ctl RPCs so this layer never imports shard code: the
+        # guard rejects requests for keys this shard does not own
+        # (epoch/redirect protocol) and the handoff spec, present only
+        # during a live rebalance, dual-writes moving keys to their new
+        # owner.  Both are None outside sharded deployments, leaving the
+        # unsharded data path untouched.
+        self.shard_guard = None
+        self.shard_handoff = None
+        self.handoff_forwards = 0
+        self._m_handoff = None   # created on first forward
+
         # Load-balancing redirect installed by Wiera's load balancer: a
         # (peer_instance_id, fraction) pair makes this instance forward
         # that fraction of gets to the peer (the `forward` response for
@@ -436,6 +448,62 @@ class TieraInstance:
         self.updates_applied += 1
         return {"applied": True}
 
+    def replica_args(self, key: str, version: int) -> Generator:
+        """``replica_update`` args for a local version — the payload shape
+        every push path (anti-entropy repair, shard migration) ships."""
+        data, meta, _ = yield from self.read_version(key, version,
+                                                     run_rules=False)
+        return {"key": key, "version": meta.version,
+                "last_modified": meta.last_modified,
+                "origin": meta.origin or self.instance_id, "data": data}
+
+    # ------------------------------------------------------------------
+    # keyspace partitioning (repro.shard)
+    # ------------------------------------------------------------------
+    def _shard_check(self, key: str) -> None:
+        if self.shard_guard is not None:
+            self.shard_guard.check(key)
+
+    def _forward_handoff(self, key: str, version: Optional[int],
+                         remove: bool = False) -> None:
+        """Dual-write a just-acknowledged write to the key's new owner.
+
+        Fire-and-forget on purpose: the forward must not add latency to
+        the acknowledged operation, and a forward lost to a fault is
+        re-covered by the rebalancer's gated cutover sweep.
+        """
+        handoff = self.shard_handoff
+        if handoff is None:
+            return
+        dest = handoff.moves(key)
+        if dest is None:
+            return
+        if not remove and version is None:
+            return
+        for node in handoff.dest_nodes(dest):
+            if remove:
+                self.node.send_oneway(node, "replica_remove",
+                                      {"key": key, "version": version},
+                                      size=256)
+            else:
+                self.sim.process(
+                    self._handoff_push(node, key, version),
+                    name=f"{self.instance_id}:handoff")
+        self.handoff_forwards += 1
+        if self._m_handoff is None:
+            self._m_handoff = self._obs.metrics.counter(
+                "shard.handoff_forwards", instance=self.instance_id)
+        self._m_handoff.inc()
+
+    def _handoff_push(self, node, key: str, version: int) -> Generator:
+        """Read the committed version and push it to one destination."""
+        try:
+            args = yield from self.replica_args(key, version)
+        except ObjectMissingError:
+            return   # removed/GC'd between ack and push; sweep reconciles
+        yield from self.node._oneway(node, "replica_update", args,
+                                     size=len(args["data"]) + 512)
+
     # ------------------------------------------------------------------
     # background policy engines
     # ------------------------------------------------------------------
@@ -565,11 +633,16 @@ class TieraInstance:
         n.register("ctl_set_peers", self.rpc_ctl_set_peers)
         n.register("ctl_add_tier", self.rpc_ctl_add_tier)
         n.register("ctl_set_redirect", self.rpc_ctl_set_redirect)
+        n.register("ctl_set_shard", self.rpc_ctl_set_shard)
+        n.register("ctl_set_handoff", self.rpc_ctl_set_handoff)
+        n.register("ctl_migrate_keys", self.rpc_ctl_migrate_keys)
+        n.register("ctl_purge_misowned", self.rpc_ctl_purge_misowned)
         n.register("ctl_demote_cold", self.rpc_ctl_demote_cold)
         n.register("ctl_adopt_remote_cold", self.rpc_ctl_adopt_remote_cold)
 
     def rpc_put(self, msg: Message) -> Generator:
         yield self.gate.wait()
+        self._shard_check(msg.args["key"])
         start = self.sim.now
         self.puts_from_app += 1
         self.note_request("app")
@@ -580,11 +653,13 @@ class TieraInstance:
                 tags=msg.args.get("tags", ()), src="app")
         finally:
             self.inflight -= 1
+        self._forward_handoff(msg.args["key"], result.get("version"))
         self._notify_latency("put", self.sim.now - start, "app")
         return result
 
     def rpc_get(self, msg: Message) -> Generator:
         yield self.gate.wait()
+        self._shard_check(msg.args["key"])
         start = self.sim.now
         self.gets_from_app += 1
         self._note_get()
@@ -607,6 +682,7 @@ class TieraInstance:
 
     def rpc_get_version(self, msg: Message) -> Generator:
         yield self.gate.wait()
+        self._shard_check(msg.args["key"])
         result = yield from self.protocol.on_get(
             self, msg.args["key"], msg.args["version"])
         return result
@@ -620,21 +696,28 @@ class TieraInstance:
         """Table 2 ``update``: rewrite the contents of a specific version."""
         yield self.gate.wait()
         key, version = msg.args["key"], msg.args["version"]
+        self._shard_check(key)
         record = self._record_or_raise(key)
         self._meta_or_raise(record, version)
         yield from self.purge_version(key, version)
         yield from self.local_put(key, msg.args["data"], version=version)
+        self._forward_handoff(key, version)
         return {"version": version, "updated": True}
 
     def rpc_remove(self, msg: Message) -> Generator:
         yield self.gate.wait()
+        self._shard_check(msg.args["key"])
         result = yield from self.protocol.on_remove(self, msg.args["key"])
+        self._forward_handoff(msg.args["key"], None, remove=True)
         return result
 
     def rpc_remove_version(self, msg: Message) -> Generator:
         yield self.gate.wait()
+        self._shard_check(msg.args["key"])
         result = yield from self.protocol.on_remove(
             self, msg.args["key"], msg.args["version"])
+        self._forward_handoff(msg.args["key"], msg.args["version"],
+                              remove=True)
         return result
 
     def rpc_replica_update(self, msg: Message) -> Generator:
@@ -801,6 +884,62 @@ class TieraInstance:
         else:
             self.get_redirect = (peer_id, float(msg.args["fraction"]))
         return {"redirect": self.get_redirect}
+
+    def rpc_ctl_set_shard(self, msg: Message) -> Generator:
+        """Install the shard-ownership guard (epoch/redirect protocol)."""
+        yield self.sim.timeout(0.00005)
+        self.shard_guard = msg.args["guard"]
+        return {"shard": getattr(self.shard_guard, "shard_id", None),
+                "epoch": getattr(self.shard_guard, "epoch", None)}
+
+    def rpc_ctl_set_handoff(self, msg: Message) -> Generator:
+        """Open/close the dual-write window of a live rebalance."""
+        yield self.sim.timeout(0.00005)
+        self.shard_handoff = msg.args.get("handoff")
+        return {"handoff": self.shard_handoff is not None}
+
+    def rpc_ctl_migrate_keys(self, msg: Message) -> Generator:
+        """Push the latest local version of each key to every destination
+        node (shard-rebalance bulk copy; bytes flow instance→instance,
+        Wiera stays off the data path).  Returns which keys landed."""
+        dests = msg.args["dest"]
+        moved, failed = [], []
+        for key in msg.args["keys"]:
+            record = self.meta.get_record(key)
+            meta = record.latest() if record is not None else None
+            if meta is None:
+                moved.append(key)   # nothing left to push: vacuously moved
+                continue
+            try:
+                args = yield from self.replica_args(key, meta.version)
+            except ObjectMissingError:
+                moved.append(key)
+                continue
+            delivered = True
+            for node in dests:
+                try:
+                    yield self.node.call(node, "replica_update", args,
+                                         size=len(args["data"]) + 512)
+                except Exception:
+                    delivered = False
+            (moved if delivered else failed).append(key)
+        return {"moved": moved, "failed": failed,
+                "instance": self.instance_id}
+
+    def rpc_ctl_purge_misowned(self, msg: Message) -> Generator:
+        """Drop local copies of keys the (new) shard guard assigns
+        elsewhere — run after a rebalance cutover has landed them on
+        their new owner, so ceded ranges don't linger as stale state."""
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        guard = self.shard_guard
+        purged = 0
+        if guard is None:
+            return {"purged": 0}
+        for record in list(self.meta.records()):
+            if not guard.owns(record.key):
+                yield from self.local_remove(record.key)
+                purged += 1
+        return {"purged": purged}
 
     def rpc_ctl_demote_cold(self, msg: Message) -> Generator:
         """Move versions idle for >= ``age`` seconds to ``to_tier``;

@@ -39,7 +39,7 @@ class YcsbWorkload:
         total = self.read_prop + self.update_prop
         if abs(total - 1.0) > 1e-9:
             raise ValueError(f"operation mix must sum to 1, got {total}")
-        if self.distribution not in ("zipfian", "uniform"):
+        if self.distribution not in ("zipfian", "zipfian_exact", "uniform"):
             raise ValueError(f"unknown distribution {self.distribution!r}")
 
     @classmethod
@@ -57,6 +57,9 @@ class YcsbWorkload:
     def chooser(self, rng: np.random.Generator):
         if self.distribution == "zipfian":
             return ScrambledZipfian(self.record_count, self.zipf_theta, rng)
+        if self.distribution == "zipfian_exact":
+            return ScrambledZipfian(self.record_count, self.zipf_theta, rng,
+                                    exact=True)
         return Uniform(self.record_count, rng)
 
     def key(self, index: int) -> str:

@@ -60,13 +60,55 @@ class Zipfian:
         return np.array([self.next() for _ in range(k)], dtype=np.int64)
 
 
-class ScrambledZipfian:
-    """Zipfian ranks hashed across the item space (YCSB default)."""
+class ZipfianCDF:
+    """Exact Zipf(theta) over [0, n) by inverse-CDF lookup.
+
+    The Gray/YCSB method above is an *approximation* (exact only for the
+    two most popular ranks); this chooser precomputes the harmonic CDF
+    once — O(n) setup, O(n) memory — and binary-searches it per draw, so
+    every rank has exactly probability ``(1/(r+1)^theta) / H_{n,theta}``.
+    Unlike :class:`Zipfian` it accepts any ``theta > 0`` (including
+    ``theta >= 1``).
+    """
 
     def __init__(self, n: int, theta: float = 0.99,
                  rng: np.random.Generator | None = None):
+        if n < 1:
+            raise ValueError("ZipfianCDF needs at least one item")
+        if theta <= 0:
+            raise ValueError("theta must be > 0")
         self.n = n
-        self._zipf = Zipfian(n, theta, rng)
+        self.theta = theta
+        self.rng = rng or np.random.default_rng(0)
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = 1.0 / ranks ** theta
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf = cdf
+
+    def next(self) -> int:
+        return int(np.searchsorted(self._cdf, self.rng.random(),
+                                   side="right"))
+
+    def sample(self, k: int) -> np.ndarray:
+        draws = self.rng.random(k)
+        return np.searchsorted(self._cdf, draws,
+                               side="right").astype(np.int64)
+
+
+class ScrambledZipfian:
+    """Zipfian ranks hashed across the item space (YCSB default).
+
+    ``exact=True`` swaps the rank source for :class:`ZipfianCDF` (exact
+    inverse-CDF sampling) instead of the Gray approximation.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 rng: np.random.Generator | None = None,
+                 exact: bool = False):
+        self.n = n
+        self._zipf = (ZipfianCDF(n, theta, rng) if exact
+                      else Zipfian(n, theta, rng))
 
     def next(self) -> int:
         return fnv1a_64(self._zipf.next()) % self.n

@@ -12,7 +12,7 @@ from repro.workloads import (
     YcsbWorkload,
     Zipfian,
 )
-from repro.workloads.zipf import Uniform, fnv1a_64
+from repro.workloads.zipf import Uniform, ZipfianCDF, fnv1a_64
 
 
 class TestZipfian:
@@ -62,6 +62,40 @@ class TestZipfian:
         assert 0 <= h < 2**64
         assert h == fnv1a_64(n)
 
+    def test_exact_cdf_matches_analytic_probabilities(self):
+        n, theta = 50, 0.99
+        z = ZipfianCDF(n, theta, np.random.default_rng(0))
+        samples = z.sample(100_000)
+        weights = 1.0 / np.arange(1, n + 1) ** theta
+        probs = weights / weights.sum()
+        counts = np.bincount(samples, minlength=n)
+        # Exact sampler: empirical top-rank mass tracks the true pmf.
+        for rank in range(5):
+            assert counts[rank] / len(samples) == pytest.approx(
+                probs[rank], rel=0.1)
+
+    def test_exact_cdf_accepts_theta_ge_1(self):
+        z = ZipfianCDF(100, 1.2, np.random.default_rng(0))
+        samples = z.sample(5000)
+        assert samples.min() >= 0 and samples.max() < 100
+        with pytest.raises(ValueError):
+            ZipfianCDF(100, 0.0)
+        with pytest.raises(ValueError):
+            ZipfianCDF(0)
+
+    def test_exact_cdf_next_matches_sample_stream(self):
+        a = ZipfianCDF(200, 0.9, np.random.default_rng(3))
+        b = ZipfianCDF(200, 0.9, np.random.default_rng(3))
+        assert [a.next() for _ in range(100)] == list(b.sample(100))
+
+    def test_scrambled_exact_flag(self):
+        z = ScrambledZipfian(1000, 0.99, np.random.default_rng(0),
+                             exact=True)
+        assert isinstance(z._zipf, ZipfianCDF)
+        samples = z.sample(20_000)
+        counts = np.bincount(samples, minlength=1000)
+        assert counts[fnv1a_64(0) % 1000] > 0.10 * len(samples)
+
     def test_uniform_chooser(self):
         u = Uniform(10, np.random.default_rng(0))
         samples = u.sample(1000)
@@ -90,6 +124,11 @@ class TestYcsbWorkload:
         assert isinstance(YcsbWorkload().chooser(rng), ScrambledZipfian)
         assert isinstance(
             YcsbWorkload(distribution="uniform").chooser(rng), Uniform)
+        exact = YcsbWorkload(distribution="zipfian_exact").chooser(rng)
+        assert isinstance(exact, ScrambledZipfian)
+        assert isinstance(exact._zipf, ZipfianCDF)
+        with pytest.raises(ValueError):
+            YcsbWorkload(distribution="pareto")
 
 
 class TestStalenessOracle:
