@@ -1,0 +1,298 @@
+"""Kernel fast-path throughput: microbench + macro events/sec + CI gate.
+
+Four microbenches exercise the scheduling paths every experiment bottoms
+out in, measuring *wall-clock* kernel events/sec:
+
+* **resume_churn** — processes repeatedly waiting on an already-processed
+  event: the pure deferred-resume path, exactly what the run-queue +
+  ``_Deferred`` fast path replaces (poke-event alloc + heap round trip on
+  the pre-change kernel).  This is the tentpole's headline number.
+* **ping_pong** — two processes resuming each other through zero-delay
+  event triggers: the same-time run-queue dispatch path plus per-round
+  event allocation.
+* **timer_churn** — many processes sleeping on real (non-zero) delays:
+  the ``heapq`` path.  A loop doing *nothing but* ``heappush``/``heappop``
+  and a generator ``send`` runs at ~1.9M ev/s on the same machine, so this
+  bench is structurally capped near 3× its seed value; treat it as a
+  regression canary, not a speedup showcase.
+* **fanout_allof** — batches of short-lived child processes gathered by
+  ``AllOf``: process construction + condition callbacks.
+
+The macro measurement replays the sharded YCSB-A deployment of
+``bench_shard_scaleout`` at 4 shards and reports simulator events/sec for
+the full stack (RPC, network, storage, replication).
+
+Output goes to ``results/BENCH_kernel.json``.  The checked-in file carries
+a ``baseline`` block (and a ``seed_kernel`` block with the pre-fast-path
+numbers measured on the same machine via a git checkout of the seed
+kernel); per-bench ``speedup_vs_seed`` ratios are recomputed on every run.
+``--check`` fails the run when the combined microbench throughput drops
+more than 30% below the baseline — the CI regression gate.
+``--rebaseline`` re-pins the baseline to the current run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.sim.kernel import Simulator
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+OUT_PATH = RESULTS / "BENCH_kernel.json"
+
+#: fail --check when micro throughput drops below this fraction of baseline
+GATE_FRACTION = 0.7
+
+
+# -- microbenches -----------------------------------------------------------
+
+def _resume_churn(procs: int, waits: int) -> Simulator:
+    sim = Simulator()
+    done = sim.event()
+    done.succeed(None)
+    sim.run()   # `done` is processed: every wait takes the resume path
+
+    def waiter():
+        for _ in range(waits):
+            yield done
+
+    for i in range(procs):
+        sim.process(waiter(), name=f"wait{i}")
+    sim.run()
+    return sim
+
+
+def _timer_churn(procs: int, steps: int) -> Simulator:
+    sim = Simulator()
+
+    def worker(i):
+        delay = 0.001 + (i % 7) * 0.0013
+        for _ in range(steps):
+            yield sim.timeout(delay)
+
+    for i in range(procs):
+        sim.process(worker(i), name=f"churn{i}")
+    sim.run()
+    return sim
+
+
+def _ping_pong(rounds: int) -> Simulator:
+    sim = Simulator()
+    ev = {"ping": sim.event(), "pong": sim.event()}
+    done = sim.event()
+    done.succeed(None)
+    sim.run()   # `done` is processed: waiting on it takes the resume path
+
+    def pinger():
+        for _ in range(rounds):
+            ev["ping"].succeed()
+            yield ev["pong"]
+            ev["pong"] = sim.event()
+            yield done
+
+    def ponger():
+        for _ in range(rounds):
+            yield ev["ping"]
+            ev["ping"] = sim.event()
+            ev["pong"].succeed()
+            yield done
+
+    sim.process(pinger(), name="ping")
+    sim.process(ponger(), name="pong")
+    sim.run()
+    return sim
+
+
+def _fanout_allof(batches: int, width: int) -> Simulator:
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(0.0)
+        return 1
+
+    def parent():
+        for _ in range(batches):
+            values = yield sim.all_of(
+                [sim.process(child()) for _ in range(width)])
+            assert len(values) == width
+
+    p = sim.process(parent(), name="fanout")
+    sim.run(until=p)
+    return sim
+
+
+def _measure(fn, *args) -> dict:
+    start = time.perf_counter()
+    sim = fn(*args)
+    wall = time.perf_counter() - start
+    return {
+        "events": sim.events_processed,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(sim.events_processed / wall, 1),
+    }
+
+
+MICRO_NAMES = ("resume_churn", "ping_pong", "timer_churn", "fanout_allof")
+
+
+def run_micro(quick: bool = False) -> dict:
+    scale = 1 if quick else 4
+    micro = {
+        "resume_churn": _measure(_resume_churn, 20, 2_500 * scale),
+        "ping_pong": _measure(_ping_pong, 25_000 * scale),
+        "timer_churn": _measure(_timer_churn, 50, 1000 * scale),
+        "fanout_allof": _measure(_fanout_allof, 1000 * scale, 20),
+    }
+    events = sum(micro[name]["events"] for name in MICRO_NAMES)
+    wall = sum(micro[name]["wall_seconds"] for name in MICRO_NAMES)
+    micro["combined_events_per_sec"] = round(events / wall, 1)
+    return micro
+
+
+def run_macro(quick: bool = False) -> dict:
+    """Sharded YCSB-A events/sec (whole stack), via bench_shard_scaleout."""
+    from bench_shard_scaleout import _run_one
+    row = _run_one(shards=4, duration=20.0 if quick else 60.0,
+                   clients=2 if quick else 4,
+                   record_count=100 if quick else 400)
+    return {
+        "workload": "ycsb-a, 4 shards",
+        "kernel_events": row["kernel_events"],
+        "kernel_events_per_wall_sec": row["kernel_events_per_wall_sec"],
+        "ops": row["ops"],
+        "wall_seconds": row["wall_seconds"],
+    }
+
+
+def run(quick: bool = False) -> dict:
+    return {
+        "benchmark": "kernel",
+        "quick": quick,
+        "micro": run_micro(quick),
+        "macro": run_macro(quick),
+    }
+
+
+# -- baseline plumbing ------------------------------------------------------
+
+def _load_existing() -> dict:
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+def emit(result: dict, rebaseline: bool = False) -> Path:
+    existing = _load_existing()
+    carried = {}
+    for key in ("baseline", "seed_kernel"):
+        if key in existing:
+            carried[key] = existing[key]
+    if rebaseline or "baseline" not in carried:
+        carried["baseline"] = {
+            "quick": result["quick"],
+            "micro_events_per_sec":
+                result["micro"]["combined_events_per_sec"],
+        }
+    result = {**result, **carried}
+    seed = result.get("seed_kernel", {}).get("micro", {})
+    if seed:
+        speedups = {}
+        for name in MICRO_NAMES:
+            if name in seed and name in result["micro"]:
+                speedups[name] = round(
+                    result["micro"][name]["events_per_sec"]
+                    / seed[name]["events_per_sec"], 2)
+        if "combined_events_per_sec" in seed:
+            speedups["combined"] = round(
+                result["micro"]["combined_events_per_sec"]
+                / seed["combined_events_per_sec"], 2)
+        seed_macro = result["seed_kernel"].get("macro")
+        if seed_macro and result.get("macro"):
+            speedups["macro_ycsb"] = round(
+                result["macro"]["kernel_events_per_wall_sec"]
+                / seed_macro["kernel_events_per_wall_sec"], 2)
+        result["speedup_vs_seed_kernel"] = speedups
+        # The headline: the zero-delay resume path the fast path targets.
+        result["hot_path_speedup"] = speedups.get("resume_churn")
+    RESULTS.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return OUT_PATH
+
+
+def check_gate(result: dict) -> bool:
+    """True when throughput is within the allowed drop from baseline."""
+    baseline = result.get("baseline")
+    if not baseline:
+        print("no baseline recorded; gate passes vacuously")
+        return True
+    if baseline.get("quick") != result.get("quick"):
+        print("baseline was recorded in a different mode "
+              f"(quick={baseline.get('quick')}); gate skipped — "
+              "re-pin with --rebaseline in the mode you gate on")
+        return True
+    floor = GATE_FRACTION * baseline["micro_events_per_sec"]
+    current = result["micro"]["combined_events_per_sec"]
+    ok = current >= floor
+    verdict = "ok" if ok else "REGRESSION"
+    print(f"gate: {current:.0f} ev/s vs baseline "
+          f"{baseline['micro_events_per_sec']:.0f} ev/s "
+          f"(floor {floor:.0f}) -> {verdict}")
+    return ok
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short CI-smoke run")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if micro throughput drops >30%% "
+                             "below the checked-in baseline")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="pin the baseline to this run")
+    parser.add_argument("--micro-only", action="store_true",
+                        help="skip the macro YCSB measurement")
+    args = parser.parse_args()
+
+    result = {
+        "benchmark": "kernel",
+        "quick": args.quick,
+        "micro": run_micro(args.quick),
+        "macro": None if args.micro_only else run_macro(args.quick),
+    }
+    out = emit(result, rebaseline=args.rebaseline)
+    final = json.loads(out.read_text())
+
+    speedups = final.get("speedup_vs_seed_kernel", {})
+    print(f"{'bench':>14} {'events':>10} {'wall-s':>8} {'events/s':>12} "
+          f"{'vs seed':>8}")
+    for name in MICRO_NAMES:
+        m = final["micro"][name]
+        ratio = speedups.get(name)
+        print(f"{name:>14} {m['events']:>10} {m['wall_seconds']:>8.3f} "
+              f"{m['events_per_sec']:>12.0f} "
+              f"{(f'{ratio:.2f}x' if ratio else '-'):>8}")
+    combined = final["micro"]["combined_events_per_sec"]
+    ratio = speedups.get("combined")
+    print(f"{'combined':>14} {'':>10} {'':>8} {combined:>12.0f} "
+          f"{(f'{ratio:.2f}x' if ratio else '-'):>8}")
+    if final.get("macro"):
+        ratio = speedups.get("macro_ycsb")
+        print(f"{'macro ycsb-a':>14} {final['macro']['kernel_events']:>10} "
+              f"{final['macro']['wall_seconds']:>8.3f} "
+              f"{final['macro']['kernel_events_per_wall_sec']:>12.0f} "
+              f"{(f'{ratio:.2f}x' if ratio else '-'):>8}")
+    print(f"wrote {out}")
+
+    if args.check and not check_gate(final):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -4,17 +4,52 @@ Every benchmark registers an :class:`ExperimentReport`; this conftest
 prints all of them in the terminal summary (so ``pytest benchmarks/
 --benchmark-only`` output shows the paper-vs-measured tables) and dumps
 them under ``results/``.
+
+``pytest benchmarks/ --profile`` additionally wraps each benchmark in
+cProfile and prints the top functions by cumulative time — the hotspot
+view that motivated the kernel fast path (``--profile-top N`` adjusts
+how many rows).
 """
 
+import cProfile
+import io
 import pathlib
+import pstats
 
 import hypothesis  # noqa: F401  (preload: the pytest plugin imports it at
 #                    summary time, which can trip CPython's AST-recursion
 #                    accounting after deep simulation call stacks)
+import pytest
 
 from repro.bench.reporting import all_reports, dump_reports, render_all
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("wiera-bench")
+    group.addoption("--profile", action="store_true", default=False,
+                    help="run each benchmark under cProfile and print the "
+                         "top functions by cumulative time")
+    group.addoption("--profile-top", type=int, default=25, metavar="N",
+                    help="rows to print per --profile dump (default 25)")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not item.config.getoption("profile", False):
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    yield
+    profiler.disable()
+    top = item.config.getoption("profile_top", 25)
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    print(f"\n-- cProfile: {item.nodeid} (top {top} by cumulative) --")
+    print(buf.getvalue())
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

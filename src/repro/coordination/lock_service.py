@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.obs.api import get_obs
+from repro.obs.trace import NULL_SPAN
 from repro.sim.kernel import Event, Simulator
 from repro.sim.rpc import Message, RpcNode
 
@@ -65,9 +66,11 @@ class LockService:
         key = msg.args["key"]
         owner = msg.args["owner"]
         lease = msg.args.get("lease", self.default_lease)
-        with self._obs.tracer.span("lock:acquire", cat="lock",
-                                   component=self.node.name, key=key,
-                                   owner=owner) as span:
+        tracer = self._obs.tracer
+        span = (tracer.span("lock:acquire", cat="lock",
+                            component=self.node.name, key=key, owner=owner)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             arrived = self.sim.now
             yield self.sim.timeout(self.service_time)
             state = self._locks.setdefault(key, LockState())
@@ -90,9 +93,11 @@ class LockService:
     def rpc_release(self, msg: Message) -> Generator:
         key = msg.args["key"]
         owner = msg.args["owner"]
-        with self._obs.tracer.span("lock:release", cat="lock",
-                                   component=self.node.name, key=key,
-                                   owner=owner):
+        tracer = self._obs.tracer
+        span = (tracer.span("lock:release", cat="lock",
+                            component=self.node.name, key=key, owner=owner)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             yield self.sim.timeout(self.service_time)
             state = self._locks.get(key)
             if state is None or state.holder != owner:

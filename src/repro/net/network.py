@@ -18,6 +18,7 @@ from repro.net.link import BandwidthLink
 from repro.net.topology import Topology
 from repro.net.vmprofiles import VmProfile, get_profile
 from repro.obs.api import get_obs
+from repro.obs.trace import NULL_SPAN
 from repro.sim.kernel import Simulator
 
 
@@ -172,9 +173,11 @@ class Network:
         Raises :class:`NetworkError`/:class:`HostDownError` if the
         destination is unreachable at send time.
         """
-        with self._obs.tracer.span("net:transmit", cat="net",
-                                   component=src.name, dst=dst.name,
-                                   bytes=nbytes):
+        tracer = self._obs.tracer
+        span = (tracer.span("net:transmit", cat="net", component=src.name,
+                            dst=dst.name, bytes=nbytes)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             self.check_reachable(src, dst)
             start = self.sim.now
             self.messages_sent += 1

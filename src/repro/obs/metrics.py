@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Iterator, Optional
 
-from repro.util.stats import OnlineStats, percentile
+from repro.util.stats import OnlineStats, percentile, percentile_sorted
 
 LabelKey = tuple[tuple[str, Any], ...]
 
@@ -114,14 +114,17 @@ class Histogram:
         return percentile(vals, q) if vals else 0.0
 
     def snapshot(self) -> dict[str, float]:
+        # One sort shared by all three quantiles (the ring holds up to
+        # 2048 samples and exporters snapshot every histogram).
+        ordered = sorted(v for _, v in self._ring)
         return {
             "count": self.stats.count,
             "mean": self.stats.mean,
             "min": self.stats.min if self.stats.count else 0.0,
             "max": self.stats.max if self.stats.count else 0.0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": percentile_sorted(ordered, 50) if ordered else 0.0,
+            "p95": percentile_sorted(ordered, 95) if ordered else 0.0,
+            "p99": percentile_sorted(ordered, 99) if ordered else 0.0,
         }
 
 

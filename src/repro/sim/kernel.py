@@ -3,20 +3,65 @@
 Design notes
 ------------
 * An :class:`Event` moves through three states: *pending* (created),
-  *triggered* (scheduled on the simulator heap with a value), *processed*
-  (its callbacks have run).  ``succeed``/``fail`` trigger it.
+  *triggered* (scheduled with a value), *processed* (its callbacks have
+  run).  ``succeed``/``fail`` trigger it.
 * A :class:`Process` wraps a generator.  Each value the generator yields
   must be an :class:`Event`; the process subscribes to it and is resumed
   with the event's value (or has the event's exception thrown into it).
 * A failed event that nobody is waiting on stops the simulation with the
   original exception — silent error-swallowing is the classic sim bug.
-* Ties in the event heap are broken by a monotonically increasing sequence
-  number, making runs exactly reproducible.
+* Ties are broken by a monotonically increasing sequence number, making
+  runs exactly reproducible.
+
+Scheduling fast path
+--------------------
+Zero-delay scheduling — process bootstraps, resumes on already-processed
+events, local completions, ``succeed()`` with the default delay — is the
+vast majority of kernel traffic, and none of it needs a priority queue.
+The simulator therefore keeps two structures:
+
+* ``_heap``: the classic ``(time, seq, event)`` heap, for ``delay > 0``;
+* ``_runq``: a FIFO (``collections.deque``) of items scheduled with
+  ``delay == 0``, each stamped with its sequence number (``_qseq``).
+
+**Invariant:** every run-queue entry is stamped at the current clock.  An
+entry is appended at time ``now``; the clock only advances by popping a
+heap event with a *later* timestamp, and such an event can never be chosen
+while the run queue is non-empty (the run-queue head, at time ``now``,
+sorts strictly earlier).  So draining compares only the heads: a heap
+event preempts only when its timestamp equals ``now`` *and* its sequence
+number is older than the run-queue head's (which happens — e.g. a timer
+landing exactly on ``now`` scheduled before a resume at ``now``, or a
+``delay > 0`` so small that ``now + delay == now`` in floating point).
+The observable processing order — ascending ``(time, seq)`` — is
+bit-identical to the heap-only kernel, and ``events_processed`` counts
+exactly the same events.
+
+Allocation diet, in rough order of impact:
+
+* subscribers live in a single ``_waiter`` slot (the overwhelmingly
+  common case is one waiter per event) with a lazily created ``callbacks``
+  list only for the second subscriber onwards — no list allocation per
+  event;
+* resuming a process whose wait target already completed used to allocate
+  a fresh "poke" ``Event``; it is now a :class:`_Deferred` record (four
+  slots, no callback list, no heap entry) drained through the same run
+  queue and recycled through a small free list;
+* every kernel object carries ``__slots__``, and processes pre-bind their
+  generator's ``send``/``throw`` and their own ``_resume``.
+
+The generator-stepping core lives in three deliberately duplicated
+copies — :meth:`Process._resume` (a waited-on event fired),
+:meth:`Process._advance` (the single-step :meth:`Simulator.step` API), and
+inline in :meth:`Simulator._drain` (deferred resumes) — because on this
+path one CPython method call per event is measurable.  Keep them in sync;
+``tests/test_kernel_golden.py`` pins the observable behavior bit-for-bit.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -45,17 +90,42 @@ class Interrupt(Exception):
 
 PENDING = object()
 
+_INF = float("inf")
+
+#: cap on the _Deferred free list — enough to cover bursts, small enough
+#: never to matter for memory
+_DPOOL_MAX = 64
+
+
+class _Never:
+    """Stand-in sentinel for run()-to-exhaustion: never 'processed'."""
+    _processed = False
+
+
+_NEVER = _Never()
+
 
 class Event:
-    """A one-shot occurrence with a value and subscriber callbacks."""
+    """A one-shot occurrence with a value and subscriber callbacks.
+
+    Subscribers: the first lands in ``_waiter``; the rare second and later
+    go to the lazily created ``callbacks`` list.  Dispatch order is
+    ``_waiter`` first, then ``callbacks`` in append order — i.e. exactly
+    subscription order, as with a plain list.
+    """
+
+    __slots__ = ("sim", "_waiter", "callbacks", "_value", "_ok", "_defused",
+                 "_cancelled", "_processed", "_qseq")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._waiter: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = PENDING
         self._ok = True
         self._defused = False
         self._cancelled = False
+        self._processed = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -64,11 +134,11 @@ class Event:
 
     @property
     def processed(self) -> bool:
-        return self.callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
-        if not self.triggered:
+        if self._value is PENDING:
             raise SimulationError("event value not yet available")
         return self._ok
 
@@ -78,17 +148,34 @@ class Event:
             raise SimulationError("event value not yet available")
         return self._value
 
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback`` to run when this event is processed."""
+        if self._processed:
+            raise SimulationError(f"{self!r} already processed")
+        if self._waiter is None:
+            self._waiter = callback
+        elif self.callbacks is None:
+            self.callbacks = [callback]
+        else:
+            self.callbacks.append(callback)
+
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, delay)
+        sim = self.sim
+        if delay == 0.0:
+            self._qseq = sim._seq
+            sim._seq += 1
+            sim._runq.append(self)
+        else:
+            sim._schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
-        if self.triggered:
+        if self._value is not PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -109,13 +196,13 @@ class Event:
         abandoned timers don't accumulate on the event heap.  Cancelling a
         processed event is a no-op.
         """
-        if self.processed or self._cancelled:
+        if self._processed or self._cancelled:
             return
         self._cancelled = True
         self.sim._note_cancel()
 
     def __repr__(self) -> str:
-        state = "processed" if self.processed else (
+        state = "processed" if self._processed else (
             "triggered" if self.triggered else "pending")
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
@@ -123,36 +210,96 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` seconds after creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Inlined Event.__init__ + _schedule (hot path: one per sleep).
+        self.sim = sim
+        self._waiter = None
+        self.callbacks = None
         self._value = value
-        sim._schedule(self, delay)
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self._processed = False
+        self.delay = delay
+        seq = sim._seq
+        if delay == 0.0:
+            self._qseq = seq
+            sim._runq.append(self)
+        elif delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        else:
+            heapq.heappush(sim._heap, (sim._now + delay, seq, self))
+        sim._seq = seq + 1
+
+
+class _Deferred:
+    """Allocation-light resume record for the run queue.
+
+    Stands in for the old "poke" ``Event`` wherever a process must be
+    resumed with an already-known outcome: bootstrap, waits on processed
+    events, interrupts.  Carries no callback list and never reaches the
+    heap; the drain loop dispatches it straight into the process and
+    recycles the record through ``Simulator._dpool``.
+    """
+
+    __slots__ = ("proc", "ok", "value", "_qseq")
+
+    #: class-level so run-queue pruning can treat records like events
+    _cancelled = False
+
+    def __init__(self, proc: "Process", ok: bool, value: Any, qseq: int):
+        self.proc = proc
+        self.ok = ok
+        self.value = value
+        self._qseq = qseq
 
 
 class Process(Event):
     """A running generator; also an event that fires when it terminates."""
 
+    __slots__ = ("name", "_generator", "_send", "_throw", "_on_fire",
+                 "_target", "obs_ctx")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
-        if not hasattr(generator, "send"):
+        try:
+            self._send = generator.send       # pre-bound: one resume each
+            self._throw = generator.throw
+        except AttributeError:
             raise SimulationError(
-                f"Process requires a generator, got {type(generator).__name__}")
-        super().__init__(sim)
+                f"Process requires a generator, "
+                f"got {type(generator).__name__}") from None
+        # Inlined Event.__init__ (hot path: one per RPC call).
+        self.sim = sim
+        self._waiter = None
+        self.callbacks = None
+        self._value = PENDING
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self._processed = False
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
+        # Pre-bound subscriber callback: appending self._resume directly
+        # would allocate a fresh bound method on every yield.
+        self._on_fire = self._resume
         self._target: Optional[Event] = None  # event this process waits on
         # Current trace context (repro.obs): spans opened while this process
         # runs parent under it; RPC propagates it across process boundaries.
         self.obs_ctx = None
         # Bootstrap: resume on the next scheduling round.
-        init = Event(sim)
-        init._ok = True
-        init._value = None
-        init.callbacks.append(self._resume)
-        sim._schedule(init, 0.0)
+        pool = sim._dpool
+        if pool:
+            d = pool.pop()
+            d.proc = self
+            d.ok = True
+            d.value = None
+            d._qseq = sim._seq
+        else:
+            d = _Deferred(self, True, None, sim._seq)
+        sim._runq.append(d)
+        sim._seq += 1
 
     @property
     def is_alive(self) -> bool:
@@ -160,69 +307,145 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if not self.is_alive:
+        if self._value is not PENDING:
             raise SimulationError(f"cannot interrupt finished {self!r}")
-        # Detach from whatever the process is waiting on.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-            self._target = None
-        poke = Event(self.sim)
-        poke._ok = False
-        poke._value = Interrupt(cause)
-        poke._defused = True
-        poke.callbacks.append(self._resume)
-        self.sim._schedule(poke, 0.0)
+        # Detach from whatever the process is waiting on.  The subscribed
+        # callback stays in place as a tombstone — _resume ignores events
+        # the process no longer waits on — so no O(n) callback-list scan.
+        self._target = None
+        sim = self.sim
+        sim._runq.append(_Deferred(self, False, Interrupt(cause), sim._seq))
+        sim._seq += 1
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        """Terminate: record the outcome and schedule the process event."""
+        self._ok = ok
+        self._value = value
+        # Drop the generator and the pre-bound callbacks: _on_fire is a
+        # reference cycle (bound method -> self), and without this a dead
+        # process waits for the cyclic GC instead of dying by refcount —
+        # measurable pressure in fan-out workloads.  Tombstoned _resume
+        # entries in event callback lists hold their own reference and
+        # early-return without touching these fields.
+        self._generator = None
+        self._send = None
+        self._throw = None
+        self._on_fire = None
+        sim = self.sim
+        self._qseq = sim._seq
+        sim._seq += 1
+        sim._runq.append(self)
+
+    def _yield_error(self, target: Any) -> None:
+        """The generator yielded something that is not an Event."""
+        exc = SimulationError(
+            f"process {self.name!r} yielded non-event {target!r}")
+        try:
+            self._throw(exc)
+        except BaseException as err:
+            self._finish(False, err)
 
     def _resume(self, event: Event) -> None:
+        # Generator-stepping core, copy 1 of 3 (see module docstring).
+        if self._target is not event:
+            return  # tombstone: detached by interrupt() before event fired
         self._target = None
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if event._ok:
-                target = self._generator.send(event._value)
+                target = self._send(event._value)
             else:
                 event._defused = True
-                target = self._generator.throw(event._value)
+                target = self._throw(event._value)
         except StopIteration as stop:
-            self._ok = True
-            self._value = stop.value
-            self.sim._schedule(self, 0.0)
+            sim._active_process = None
+            self._finish(True, stop.value)
             return
         except BaseException as exc:
-            self._ok = False
-            self._value = exc
-            self.sim._schedule(self, 0.0)
+            sim._active_process = None
+            self._finish(False, exc)
             return
-        finally:
-            self.sim._active_process = None
+        sim._active_process = None
+        try:
+            if target._processed:
+                # Already processed: resume with its value on the next
+                # round, without allocating a poke event.
+                if not target._ok:
+                    target._defused = True
+                pool = sim._dpool
+                if pool:
+                    d = pool.pop()
+                    d.proc = self
+                    d.ok = target._ok
+                    d.value = target._value
+                    d._qseq = sim._seq
+                else:
+                    d = _Deferred(self, target._ok, target._value, sim._seq)
+                sim._seq += 1
+                sim._runq.append(d)
+            elif target._waiter is None:
+                target._waiter = self._on_fire
+                self._target = target
+            else:
+                tcbs = target.callbacks
+                if tcbs is None:
+                    target.callbacks = [self._on_fire]
+                else:
+                    tcbs.append(self._on_fire)
+                self._target = target
+        except AttributeError:
+            self._yield_error(target)
 
-        if not isinstance(target, Event):
-            exc = SimulationError(
-                f"process {self.name!r} yielded non-event {target!r}")
-            try:
-                self._generator.throw(exc)
-            except BaseException as err:
-                self._ok = False
-                self._value = err
-                self.sim._schedule(self, 0.0)
+    def _advance(self, ok: bool, value: Any) -> None:
+        """Step the generator once with an outcome and re-subscribe.
+
+        Generator-stepping core, copy 2 of 3 — kept as a method for the
+        single-step :meth:`Simulator.step` API (deferred-resume dispatch).
+        """
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if ok:
+                target = self._send(value)
+            else:
+                target = self._throw(value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self._finish(True, stop.value)
             return
-        if target.callbacks is None:
-            # Already processed: resume immediately with its value.
-            poke = Event(self.sim)
-            poke._ok = target._ok
-            poke._value = target._value
-            if not target._ok:
-                target._defused = True
-                poke._defused = True
-            poke.callbacks.append(self._resume)
-            self.sim._schedule(poke, 0.0)
-        else:
-            if not target._ok and target.triggered:
-                target._defused = True
-            target.callbacks.append(self._resume)
-            self._target = target
+        except BaseException as exc:
+            sim._active_process = None
+            self._finish(False, exc)
+            return
+        sim._active_process = None
+        try:
+            if target._processed:
+                if not target._ok:
+                    target._defused = True
+                pool = sim._dpool
+                if pool:
+                    d = pool.pop()
+                    d.proc = self
+                    d.ok = target._ok
+                    d.value = target._value
+                    d._qseq = sim._seq
+                else:
+                    d = _Deferred(self, target._ok, target._value, sim._seq)
+                sim._seq += 1
+                sim._runq.append(d)
+            elif target._waiter is None:
+                target._waiter = self._on_fire
+                self._target = target
+            else:
+                tcbs = target.callbacks
+                if tcbs is None:
+                    target.callbacks = [self._on_fire]
+                else:
+                    tcbs.append(self._on_fire)
+                self._target = target
+        except AttributeError:
+            self._yield_error(target)
 
     def __repr__(self) -> str:
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
@@ -231,18 +454,21 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
+    __slots__ = ("events", "_done", "_on_child")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self.events = list(events)
         self._done = 0
+        self._on_child = self._check   # pre-bound, one per condition
         if not self.events:
             self.succeed([])
             return
         for ev in self.events:
-            if ev.callbacks is None:
+            if ev._processed:
                 self._check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev.subscribe(self._on_child)
 
     def _check(self, event: Event) -> None:
         raise NotImplementedError
@@ -254,8 +480,10 @@ class AllOf(_Condition):
     If any child fails, this condition fails with that child's exception.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             if not event._ok:
                 event._defused = True
             return
@@ -271,8 +499,21 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires when the first child event fires; value is (index, value)."""
 
+    __slots__ = ("_index_of",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        events = list(events)
+        # id -> first position: O(1) completion lookup, and correct (a
+        # duplicate *is* the object at its first position) where the old
+        # list.index() scan was O(n) per completion.
+        index_of: dict[int, int] = {}
+        for i, ev in enumerate(events):
+            index_of.setdefault(id(ev), i)
+        self._index_of = index_of
+        super().__init__(sim, events)
+
     def _check(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not PENDING:
             if not event._ok:
                 event._defused = True
             return
@@ -280,7 +521,7 @@ class AnyOf(_Condition):
             event._defused = True
             self.fail(event._value)
             return
-        self.succeed((self.events.index(event), event._value))
+        self.succeed((self._index_of[id(event)], event._value))
 
 
 class Simulator:
@@ -294,11 +535,15 @@ class Simulator:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, Event]] = []
+        #: same-time FIFO: Event/_Deferred items at time _now, seq-stamped
+        self._runq: deque[Any] = deque()
+        self._dpool: list[_Deferred] = []  # recycled resume records
         self._active_process: Optional[Process] = None
-        self._cancelled_pending = 0  # cancelled events still on the heap
+        self._cancelled_pending = 0  # cancelled events still scheduled
         self._obs = None  # Observability bundle, installed by repro.obs
         #: events processed since construction — the denominator for
-        #: wall-clock kernel throughput (events/sec) in benchmarks
+        #: wall-clock kernel throughput (events/sec) in benchmarks.
+        #: run() batches the increment and flushes it on return.
         self.events_processed = 0
 
     @property
@@ -327,48 +572,221 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
+        if delay == 0.0:
+            event._qseq = self._seq
+            self._runq.append(event)
+        elif delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay}")
-        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, self._seq, event))
         self._seq += 1
 
     def _note_cancel(self) -> None:
         self._cancelled_pending += 1
         if (self._cancelled_pending > self.CANCEL_COMPACT_THRESHOLD
                 and self._cancelled_pending * 2 > len(self._heap)):
-            self._heap = [entry for entry in self._heap
-                          if not entry[2]._cancelled]
+            # In place, so the drain loop's local binding stays valid.
+            self._heap[:] = [entry for entry in self._heap
+                             if not entry[2]._cancelled]
             heapq.heapify(self._heap)
-            self._cancelled_pending = 0
+            # Cancelled entries may also sit in the (usually tiny) run
+            # queue; they are skipped on drain, so just recount them.
+            self._cancelled_pending = sum(
+                1 for item in self._runq if item._cancelled)
 
-    def _prune_head(self) -> None:
-        """Drop cancelled events from the head of the heap (lazy deletion)."""
-        while self._heap and self._heap[0][2]._cancelled:
-            heapq.heappop(self._heap)
+    def _prune(self) -> None:
+        """Drop cancelled entries from both queue heads (lazy deletion)."""
+        heap = self._heap
+        while heap and heap[0][2]._cancelled:
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+        runq = self._runq
+        while runq and runq[0]._cancelled:
+            runq.popleft()
             self._cancelled_pending -= 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        self._prune_head()
-        return self._heap[0][0] if self._heap else float("inf")
+        self._prune()
+        if self._runq:
+            return self._now
+        return self._heap[0][0] if self._heap else _INF
 
-    def step(self) -> None:
-        """Process exactly one event."""
-        self._prune_head()
-        if not self._heap:
-            raise SimulationError("step() on an empty schedule")
-        when, _, event = heapq.heappop(self._heap)
-        self._now = when
+    def _dispatch(self, event: Event) -> None:
+        """Mark ``event`` processed and run its subscribers, then check
+        for unhandled failure.  Shared by step(); _drain inlines it."""
         self.events_processed += 1
+        event._processed = True
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter(event)
         callbacks = event.callbacks
-        event.callbacks = None
-        for callback in callbacks:
-            callback(event)
+        if callbacks is not None:
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
         if not event._ok and not event._defused:
             exc = event._value
             if isinstance(exc, BaseException):
                 raise exc
             raise SimulationError(f"unhandled event failure: {exc!r}")
+
+    def step(self) -> None:
+        """Process exactly one event (single-step API; ``run`` is faster)."""
+        self._prune()
+        runq = self._runq
+        heap = self._heap
+        if runq:
+            item = runq[0]
+            # Run-queue entries are all stamped (now, seq): a heap event
+            # preempts only on an equal timestamp with an older seq.
+            if heap and heap[0][0] == self._now and heap[0][1] < item._qseq:
+                event = heapq.heappop(heap)[2]
+            else:
+                runq.popleft()
+                if item.__class__ is _Deferred:
+                    self.events_processed += 1
+                    item.proc._advance(item.ok, item.value)
+                    return
+                event = item
+        elif heap:
+            when, _, event = heapq.heappop(heap)
+            self._now = when
+        else:
+            raise SimulationError("step() on an empty schedule")
+        self._dispatch(event)
+
+    def _drain(self, deadline: Optional[float],
+               sentinel: Optional[Event]) -> None:
+        """The hot loop behind :meth:`run`: inline choose/advance/dispatch.
+
+        Stops when ``sentinel`` is processed (if given), when the next
+        heap event lies beyond ``deadline`` (if given) with the run queue
+        empty, or when the whole schedule drains.  Processing order and
+        ``events_processed`` accounting are exactly those of repeated
+        :meth:`step` calls.
+        """
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        runq = self._runq   # only ever mutated in place
+        heap = self._heap   # compaction rewrites it in place too
+        pool = self._dpool
+        if sentinel is None:
+            sentinel = _NEVER
+        if deadline is None:
+            deadline = _INF
+        count = 0
+        try:
+            while True:
+                if sentinel._processed:
+                    return
+                if runq:
+                    item = runq[0]
+                    if item._cancelled:
+                        self._cancelled_pending -= 1
+                        runq.popleft()
+                        continue
+                    if heap and heap[0][0] == self._now \
+                            and heap[0][1] < item._qseq:
+                        event = heappop(heap)[2]
+                        if event._cancelled:
+                            self._cancelled_pending -= 1
+                            continue
+                    else:
+                        runq.popleft()
+                        if item.__class__ is _Deferred:
+                            # Generator-stepping core, copy 3 of 3 (see
+                            # module docstring; mirror of _advance).
+                            count += 1
+                            proc = item.proc
+                            ok = item.ok
+                            value = item.value
+                            if len(pool) < _DPOOL_MAX:
+                                item.proc = None
+                                item.value = None
+                                pool.append(item)
+                            self._active_process = proc
+                            try:
+                                if ok:
+                                    target = proc._send(value)
+                                else:
+                                    target = proc._throw(value)
+                            except StopIteration as stop:
+                                self._active_process = None
+                                proc._finish(True, stop.value)
+                                continue
+                            except BaseException as exc:
+                                self._active_process = None
+                                proc._finish(False, exc)
+                                continue
+                            self._active_process = None
+                            try:
+                                if target._processed:
+                                    if not target._ok:
+                                        target._defused = True
+                                    if pool:
+                                        d = pool.pop()
+                                        d.proc = proc
+                                        d.ok = target._ok
+                                        d.value = target._value
+                                        d._qseq = self._seq
+                                    else:
+                                        d = _Deferred(proc, target._ok,
+                                                      target._value,
+                                                      self._seq)
+                                    self._seq += 1
+                                    runq.append(d)
+                                elif target._waiter is None:
+                                    target._waiter = proc._on_fire
+                                    proc._target = target
+                                else:
+                                    tcbs = target.callbacks
+                                    if tcbs is None:
+                                        target.callbacks = [proc._on_fire]
+                                    else:
+                                        tcbs.append(proc._on_fire)
+                                    proc._target = target
+                            except AttributeError:
+                                proc._yield_error(target)
+                            continue
+                        event = item
+                elif heap:
+                    entry = heappop(heap)
+                    event = entry[2]
+                    if event._cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    if entry[0] > deadline:
+                        heappush(heap, entry)  # once per run(), at the end
+                        return
+                    self._now = entry[0]
+                else:
+                    if sentinel is not _NEVER:
+                        raise SimulationError(
+                            "schedule drained before the awaited event fired")
+                    return
+                # Inline _dispatch.
+                count += 1
+                event._processed = True
+                waiter = event._waiter
+                if waiter is not None:
+                    event._waiter = None
+                    waiter(event)
+                callbacks = event.callbacks
+                if callbacks is not None:
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                if not event._ok:
+                    if not event._defused:
+                        exc = event._value
+                        if isinstance(exc, BaseException):
+                            raise exc
+                        raise SimulationError(
+                            f"unhandled event failure: {exc!r}")
+        finally:
+            self.events_processed += count
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the schedule drains, a deadline passes, or an event fires.
@@ -378,24 +796,17 @@ class Simulator:
         and return its value).
         """
         if until is None:
-            while self.peek() != float("inf"):
-                self.step()
+            self._drain(None, None)
             return None
         if isinstance(until, Event):
-            sentinel = until
-            while not sentinel.processed:
-                if self.peek() == float("inf"):
-                    raise SimulationError(
-                        "schedule drained before the awaited event fired")
-                self.step()
-            if not sentinel._ok:
-                raise sentinel._value
-            return sentinel._value
+            self._drain(None, until)
+            if not until._ok:
+                raise until._value
+            return until._value
         deadline = float(until)
         if deadline < self._now:
             raise SimulationError(
                 f"run(until={deadline}) is in the past (now={self._now})")
-        while self.peek() <= deadline:
-            self.step()
+        self._drain(deadline, None)
         self._now = deadline
         return None

@@ -20,7 +20,7 @@ from typing import Any, Callable, Generator, Optional
 
 from repro.net.network import Host, Network
 from repro.obs.api import get_obs
-from repro.obs.trace import TraceContext
+from repro.obs.trace import NULL_SPAN, TraceContext
 from repro.sim.kernel import Process, Simulator
 
 
@@ -32,7 +32,7 @@ class NoSuchMethodError(RpcError):
     """The destination node has no handler registered for the method."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One request as seen by a handler."""
 
@@ -98,7 +98,8 @@ class RpcNode:
         """Invoke ``method`` on ``dst``; returns a process/event to yield on."""
         # The caller's trace context must be captured here, in the calling
         # process's frame — the generator below runs as a new process.
-        parent = self._obs.tracer.current()
+        tracer = self._obs.tracer
+        parent = tracer.current() if tracer.enabled else None
         return self.sim.process(
             self._call(dst, method, args or {}, size, reply_size, parent),
             name=f"rpc:{self.name}->{dst.name}:{method}")
@@ -106,9 +107,11 @@ class RpcNode:
     def _call(self, dst: "RpcNode", method: str, args: dict[str, Any],
               size: Optional[int], reply_size: Optional[int],
               parent: Optional[TraceContext] = None) -> Generator:
-        with self._obs.tracer.span(f"rpc:{method}", cat="rpc",
-                                   component=self.name, parent=parent,
-                                   dst=dst.name) as span:
+        tracer = self._obs.tracer
+        span = (tracer.span(f"rpc:{method}", cat="rpc", component=self.name,
+                            parent=parent, dst=dst.name)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             msg = Message(src=self.name, dst=dst.name, method=method,
                           args=args,
                           size=size if size is not None else self.ENVELOPE,
@@ -129,7 +132,8 @@ class RpcNode:
         Used for background/asynchronous propagation (the ``queue``
         response) where a dead replica must not crash the sender.
         """
-        parent = self._obs.tracer.current()
+        tracer = self._obs.tracer
+        parent = tracer.current() if tracer.enabled else None
         return self.sim.process(
             self._oneway(dst, method, args or {}, size, parent),
             name=f"rpc1w:{self.name}->{dst.name}:{method}")
@@ -137,9 +141,11 @@ class RpcNode:
     def _oneway(self, dst: "RpcNode", method: str, args: dict[str, Any],
                 size: Optional[int],
                 parent: Optional[TraceContext] = None) -> Generator:
-        with self._obs.tracer.span(f"oneway:{method}", cat="rpc",
-                                   component=self.name, parent=parent,
-                                   dst=dst.name) as span:
+        tracer = self._obs.tracer
+        span = (tracer.span(f"oneway:{method}", cat="rpc",
+                            component=self.name, parent=parent, dst=dst.name)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             msg = Message(src=self.name, dst=dst.name, method=method,
                           args=args,
                           size=size if size is not None else self.ENVELOPE,
@@ -162,9 +168,13 @@ class RpcNode:
                 f"{self.name} has no method {msg.method!r} "
                 f"(has {sorted(self._handlers)})")
         self._served.inc()
-        with self._obs.tracer.span(f"handle:{msg.method}", cat="rpc.server",
-                                   component=self.name, parent=msg.trace,
-                                   src=msg.src):
+        tracer = self._obs.tracer
+        if tracer.enabled:
+            with tracer.span(f"handle:{msg.method}", cat="rpc.server",
+                             component=self.name, parent=msg.trace,
+                             src=msg.src):
+                result = yield from handler(msg)
+        else:
             result = yield from handler(msg)
         return result
 

@@ -13,6 +13,7 @@ from typing import Generator, Iterator, Optional
 import numpy as np
 
 from repro.obs.api import get_obs
+from repro.obs.trace import NULL_SPAN
 from repro.sim.kernel import Simulator
 from repro.sim.primitives import Resource
 from repro.storage.profiles import TierProfile, get_tier_profile
@@ -139,9 +140,11 @@ class StorageBackend:
         if not isinstance(data, (bytes, bytearray)):
             raise TypeError(f"storage data must be bytes, got {type(data)}")
         data = bytes(data)
-        with self._obs.tracer.span("storage:write", cat="storage",
-                                   component=self.name, key=key,
-                                   bytes=len(data)):
+        tracer = self._obs.tracer
+        span = (tracer.span("storage:write", cat="storage",
+                            component=self.name, key=key, bytes=len(data))
+                if tracer.enabled else NULL_SPAN)
+        with span:
             previous = len(self._data.get(key, b""))
             new_used = self.used_bytes - previous + len(data)
             if new_used > self.capacity:
@@ -167,9 +170,11 @@ class StorageBackend:
         if key not in self._data:
             raise ObjectMissingError(f"{self.name}: no object {key!r}")
         nbytes = len(self._data[key])
-        with self._obs.tracer.span("storage:read", cat="storage",
-                                   component=self.name, key=key,
-                                   bytes=nbytes):
+        tracer = self._obs.tracer
+        span = (tracer.span("storage:read", cat="storage",
+                            component=self.name, key=key, bytes=nbytes)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             service = (self.profile.service_time(nbytes, write=False)
                        * self._jitter())
             yield from self._occupy(service)
@@ -187,8 +192,11 @@ class StorageBackend:
         """Remove ``key``; yields a small metadata-update time."""
         if key not in self._data:
             raise ObjectMissingError(f"{self.name}: no object {key!r}")
-        with self._obs.tracer.span("storage:delete", cat="storage",
-                                   component=self.name, key=key):
+        tracer = self._obs.tracer
+        span = (tracer.span("storage:delete", cat="storage",
+                            component=self.name, key=key)
+                if tracer.enabled else NULL_SPAN)
+        with span:
             yield self.sim.timeout(self.profile.write_latency * 0.5)
             data = self._data.pop(key, None)
             if data is not None:

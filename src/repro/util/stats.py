@@ -10,7 +10,17 @@ def percentile(samples: list[float], q: float) -> float:
     """Linear-interpolation percentile of ``samples`` (q in [0, 100])."""
     if not samples:
         raise ValueError("percentile of empty sample set")
-    data = sorted(samples)
+    return percentile_sorted(sorted(samples), q)
+
+
+def percentile_sorted(data: list[float], q: float) -> float:
+    """:func:`percentile` over an already-sorted sample list.
+
+    Lets callers computing several quantiles (p50/p95/p99) sort once and
+    share the sorted list instead of paying one sort per quantile.
+    """
+    if not data:
+        raise ValueError("percentile of empty sample set")
     if len(data) == 1:
         return data[0]
     pos = (q / 100.0) * (len(data) - 1)

@@ -1,0 +1,128 @@
+"""Golden determinism workload for the kernel fast path.
+
+Runs a fixed sharded YCSB-A deployment under fault injection (partition +
+heal + latency spike, timeout racing enabled) and fingerprints everything
+an application could observe: the exact per-request latency sequences, the
+final simulation clock, the kernel event count, the shared metric totals,
+and a digest of the final store state across every shard.
+
+``tests/golden/kernel_golden.json`` was captured from the pre-optimization
+kernel (heap-only scheduling, poke-event resumes); the pin test asserts the
+optimized kernel reproduces it bit-for-bit.  Regenerate only when the
+*workload* changes, never to paper over a kernel behavior change:
+
+    PYTHONPATH=src python -m tests.kernel_golden
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+
+from repro.bench.harness import build_deployment
+from repro.core.global_policy import GlobalPolicySpec, RegionPlacement
+from repro.faults.retry import RetryPolicy
+from repro.net.topology import US_EAST, US_WEST
+from repro.tiera.policy import write_back_policy
+from repro.workloads.ycsb import YcsbClient, YcsbWorkload
+
+GOLDEN_PATH = (pathlib.Path(__file__).resolve().parent
+               / "golden" / "kernel_golden.json")
+
+#: metric names whose deployment-wide totals are part of the fingerprint
+PINNED_METRICS = (
+    "net.messages",
+    "net.bytes",
+    "rpc.requests_served",
+    "rpc.dropped_oneways",
+    "rpc.timeouts",
+    "client.failovers",
+    "client.retries",
+    "retry.attempts",
+    "faults.injected",
+    "replication.send_failures",
+    "storage.ops",
+)
+
+
+def _store_digest(dep, shard_map) -> str:
+    """sha256 over the sorted (shard, instance, key, latest_version) state."""
+    rows = []
+    for sid in sorted(shard_map.shards):
+        tim = dep.wiera.tim(sid)
+        for iid in sorted(tim.instances):
+            rec = tim.instances[iid]
+            for record in sorted(rec.instance.meta.records(),
+                                 key=lambda r: r.key):
+                rows.append(f"{sid}/{iid}/{record.key}"
+                            f"=v{record.latest_version}")
+    return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+
+
+def golden_run() -> dict:
+    """The reference chaos run; returns the observable fingerprint."""
+    dep = build_deployment([US_EAST, US_WEST], seed=29, shards=4)
+    spec = GlobalPolicySpec(
+        name="gold",
+        placements=(RegionPlacement(US_EAST, write_back_policy()),
+                    RegionPlacement(US_WEST, write_back_policy())),
+        consistency="multi_primaries")
+    handle = dep.start_sharded_instance("gold", spec)
+
+    workload = YcsbWorkload.workload_a(record_count=80, value_size=128)
+    retry = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.5,
+                        jitter=0.2)
+    drivers = []
+    for i, region in enumerate((US_WEST, US_EAST)):
+        client = dep.add_client(region, sharded=handle,
+                                request_timeout=1.5, retry_policy=retry)
+        rng = dep.rng.stream(f"gold{i}")
+        drivers.append(YcsbClient(dep.sim, client, workload, rng,
+                                  think_time=0.02))
+    dep.drive(drivers[0].load())
+
+    # Faults land inside the measured phase (the drivers absorb op errors).
+    t0 = dep.sim.now
+    schedule = dep.fault_schedule()
+    schedule.partition(t0 + 5.0, US_EAST, US_WEST, duration=4.0)
+    # Big enough that cross-region calls overrun request_timeout, so the
+    # call_with_timeout racing path (fired deadlines, cancelled timers,
+    # interrupts) is part of the pinned behavior.
+    schedule.latency_spike(t0 + 12.0, 1.0, regions=(US_EAST, US_WEST),
+                           duration=3.0)
+    schedule.start()
+    for driver in drivers:
+        driver.start()
+    dep.sim.run(until=dep.sim.now + 20.0)
+    for driver in drivers:
+        driver.stop()
+    dep.sim.run(until=dep.sim.now + 10.0)   # replication settles
+
+    latencies = {}
+    for i, driver in enumerate(drivers):
+        latencies[f"client{i}.read"] = driver.stats.read_latencies
+        latencies[f"client{i}.update"] = driver.stats.update_latencies
+    return {
+        "final_clock": dep.sim.now,
+        "events_processed": dep.sim.events_processed,
+        "latencies": latencies,
+        "metric_totals": {name: dep.metric_total(name)
+                          for name in PINNED_METRICS},
+        "store_digest": _store_digest(dep, handle.map),
+        "faults_applied": [[t, kind, list(target)]
+                           for t, kind, target in dep.faults.applied],
+    }
+
+
+def main() -> None:
+    fingerprint = golden_run()
+    GOLDEN_PATH.parent.mkdir(exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(fingerprint, indent=2) + "\n")
+    ops = sum(len(v) for v in fingerprint["latencies"].values())
+    print(f"wrote {GOLDEN_PATH} ({ops} request latencies, "
+          f"{fingerprint['events_processed']} kernel events)")
+
+
+if __name__ == "__main__":
+    main()

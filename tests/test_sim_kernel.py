@@ -272,3 +272,153 @@ class TestDeterminism:
     def test_step_empty_raises(self, sim):
         with pytest.raises(SimulationError):
             sim.step()
+
+
+class TestFastPath:
+    """Behavior pinned for the run-queue/deferred-resume fast path."""
+
+    def test_runq_and_heap_interleave_in_seq_order(self, sim):
+        """Zero-delay and equal-timestamp heap events keep creation order."""
+        order = []
+
+        def starter():
+            yield sim.timeout(1.0)
+            # At t=1.0, alternate heap entries (timeout stamped for now+0 is
+            # runq; a 0-delay succeed is runq; events succeeded with delay
+            # land on the heap at the same timestamp after runq stamps).
+            for tag in ("a", "b", "c", "d"):
+                ev = sim.event()
+                ev.succeed(tag)
+                ev.subscribe(lambda e: order.append(e.value))
+            late = sim.event()
+            late.succeed("via-heap", delay=0.0)
+            late.subscribe(lambda e: order.append(e.value))
+
+        sim.process(starter())
+        sim.run()
+        assert order == ["a", "b", "c", "d", "via-heap"]
+
+    def test_heap_preempts_runq_when_seq_is_older(self, sim):
+        """An equal-time heap entry created *earlier* fires first."""
+        order = []
+
+        def proc():
+            t = sim.timeout(1.0, value="heap-old")   # heap, seq N
+            t.subscribe(lambda e: order.append(e.value))
+            yield sim.timeout(1.0)                   # heap, seq N+1 -> now=1
+            ev = sim.event()
+            ev.succeed("runq-new")                   # runq, seq N+2
+            ev.subscribe(lambda e: order.append(e.value))
+
+        sim.process(proc())
+        sim.run()
+        assert order == ["heap-old", "runq-new"]
+
+    def test_subscribe_to_processed_event_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        sim.run()
+        with pytest.raises(SimulationError):
+            ev.subscribe(lambda e: None)
+
+    def test_subscribe_overflow_preserves_order(self, sim):
+        """First subscriber takes the waiter slot; the rest keep order."""
+        ev = sim.event()
+        order = []
+        for i in range(5):
+            ev.subscribe(lambda e, i=i: order.append(i))
+        ev.succeed()
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_any_of_duplicate_event_reports_first_index(self, sim):
+        t = sim.timeout(1.0, value="x")
+
+        def waiter():
+            index, value = yield sim.any_of([t, t, sim.timeout(9.0)])
+            return index, value
+
+        p = sim.process(waiter())
+        assert sim.run(until=p) == (0, "x")
+
+    def test_interrupt_storm_leaves_tombstones_harmless(self, sim):
+        """Many processes interrupted off one hot event: the dead
+        subscriptions must not fire and the survivors must all resume."""
+        hot = sim.event()
+        results = []
+
+        def sleeper(i):
+            try:
+                value = yield hot
+                results.append(("woke", i, value))
+            except Interrupt:
+                results.append(("interrupted", i, None))
+
+        procs = [sim.process(sleeper(i)) for i in range(20)]
+        sim.run(until=sim.now)  # let everyone park on `hot`
+
+        def killer():
+            yield sim.timeout(1.0)
+            for p in procs[::2]:
+                p.interrupt()
+            hot.succeed("fire")
+
+        sim.process(killer())
+        sim.run()
+        assert len(results) == 20
+        interrupted = sorted(i for kind, i, _ in results
+                             if kind == "interrupted")
+        woke = sorted(i for kind, i, _ in results if kind == "woke")
+        assert interrupted == list(range(0, 20, 2))
+        assert woke == list(range(1, 20, 2))
+        assert all(v == "fire" for kind, _, v in results if kind == "woke")
+
+    def test_interrupted_process_can_wait_again(self, sim):
+        """After an interrupt the process re-parks cleanly (timeout racing
+        does this on every retry)."""
+        def sleeper():
+            for _ in range(3):
+                try:
+                    yield sim.timeout(100.0)
+                except Interrupt:
+                    pass
+            yield sim.timeout(0.5)
+            return sim.now
+
+        p = sim.process(sleeper())
+
+        def killer():
+            for _ in range(3):
+                yield sim.timeout(1.0)
+                p.interrupt()
+
+        sim.process(killer())
+        assert sim.run(until=p) == pytest.approx(3.5)
+
+    def test_events_processed_counts_every_dispatch(self, sim):
+        """events_processed semantics are unchanged: one increment per
+        processed event, including process-finish and deferred resumes."""
+        done = sim.event()
+        done.succeed()
+        sim.run()
+        base = sim.events_processed
+        assert base == 1  # the `done` event itself
+
+        def waiter():
+            yield done          # deferred resume: counts as one event
+            yield sim.timeout(1.0)
+
+        p = sim.process(waiter())
+        sim.run(until=p)
+        # bootstrap + deferred resume + timeout + process-finish
+        assert sim.events_processed == base + 4
+
+    def test_cancel_in_runq_is_skipped(self, sim):
+        ev = sim.event()
+        ev.succeed("never")
+        fired = []
+        ev.subscribe(lambda e: fired.append(e.value))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+        assert not ev.processed
