@@ -150,7 +150,8 @@ def build_deployment(regions: Sequence[str],
                      with_ledger: bool = False,
                      heartbeat_interval: float = 5.0,
                      with_tracing: bool = False,
-                     shards: int = 1) -> Deployment:
+                     shards: int = 1,
+                     chunk_bytes: float = 0.0) -> Deployment:
     """Stand up Wiera + one Tiera server per (region, provider).
 
     ``providers`` maps region -> iterable of providers (default: aws only).
@@ -162,12 +163,15 @@ def build_deployment(regions: Sequence[str],
     ``shards`` sets the default partition count used by
     :meth:`Deployment.start_sharded_instance`; the default of 1 keeps
     every deployment unsharded and bit-identical to pre-shard behavior.
+    ``chunk_bytes`` enables chunked WAN transfers (see
+    :meth:`repro.net.network.Network.transmit`); 0 keeps transfers as a
+    single indivisible egress reservation.
     """
     sim = Simulator()
     obs = get_obs(sim)
     if with_tracing:
         obs.enable_tracing()
-    network = Network(sim, topology)
+    network = Network(sim, topology, chunk_bytes=chunk_bytes)
     rng = RngRegistry(seed)
     ledger = CostLedger(sim) if with_ledger else None
     wiera = WieraService(sim, network, region=wiera_region,

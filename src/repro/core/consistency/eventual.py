@@ -28,10 +28,12 @@ class EventualConsistencyProtocol(GlobalProtocol):
 
     def __init__(self, queue_interval: float = 1.0,
                  repair_interval: Optional[float] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 batch_bytes: float = 0.0):
         self.queue_interval = queue_interval
         self.repair_interval = repair_interval
         self.retry_policy = retry_policy or RetryPolicy()
+        self.batch_bytes = batch_bytes
         self._queues: dict[str, ReplicationQueue] = {}
         self._repairers: dict[str, AntiEntropyRepairer] = {}
 
@@ -40,7 +42,8 @@ class EventualConsistencyProtocol(GlobalProtocol):
         if self.repair_interval is not None:
             repairer = AntiEntropyRepairer(
                 instance, self.repair_interval,
-                queue_for=lambda inst: self._queues.get(inst.instance_id))
+                queue_for=lambda inst: self._queues.get(inst.instance_id),
+                batch_bytes=self.batch_bytes)
             self._repairers[instance.instance_id] = repairer
             repairer.start()
 
@@ -56,7 +59,8 @@ class EventualConsistencyProtocol(GlobalProtocol):
         queue = self._queues.get(instance.instance_id)
         if queue is None:
             queue = ReplicationQueue(instance, self.queue_interval,
-                                     retry_policy=self.retry_policy)
+                                     retry_policy=self.retry_policy,
+                                     batch_bytes=self.batch_bytes)
             self._queues[instance.instance_id] = queue
             queue.start()
         return queue

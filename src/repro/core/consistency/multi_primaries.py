@@ -24,7 +24,8 @@ class MultiPrimariesProtocol(GlobalProtocol):
 
     name = "multi_primaries"
 
-    def __init__(self):
+    def __init__(self, batch_bytes: float = 0.0):
+        self.batch_bytes = batch_bytes
         self.locked_puts = 0
 
     def attach(self, instance) -> None:

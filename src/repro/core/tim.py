@@ -186,7 +186,7 @@ class TieraInstanceManager:
     def _build_protocol(self, name: str):
         spec = self.spec
         if name == "multi_primaries":
-            return MultiPrimariesProtocol()
+            return MultiPrimariesProtocol(batch_bytes=spec.batch_bytes)
         if name == "primary_backup":
             existing = getattr(self.protocol, "config", None)
             primary_id = (existing.primary_id if existing is not None
@@ -196,12 +196,14 @@ class TieraInstanceManager:
                 sync_replication=spec.sync_replication,
                 queue_interval=spec.queue_interval,
                 get_from=self._resolve_instance_id(spec.get_from),
-                repair_interval=spec.repair_interval)
+                repair_interval=spec.repair_interval,
+                batch_bytes=spec.batch_bytes)
             config.history.append((self.sim.now, primary_id))
             return PrimaryBackupProtocol(config)
         if name == "eventual":
             return EventualConsistencyProtocol(
-                spec.queue_interval, repair_interval=spec.repair_interval)
+                spec.queue_interval, repair_interval=spec.repair_interval,
+                batch_bytes=spec.batch_bytes)
         if name == "local":
             return LocalOnlyProtocol()
         raise WieraInstanceError(f"unknown protocol {name!r}")

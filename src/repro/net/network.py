@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from repro.net.link import BandwidthLink
+from repro.net.link import BandwidthLink, iter_chunks
 from repro.net.topology import Topology
 from repro.net.vmprofiles import VmProfile, get_profile
 from repro.obs.api import get_obs
@@ -68,9 +68,13 @@ class Host:
 class Network:
     """Topology + hosts + dynamics; produces transfer generators."""
 
-    def __init__(self, sim: Simulator, topology: Optional[Topology] = None):
+    def __init__(self, sim: Simulator, topology: Optional[Topology] = None,
+                 chunk_bytes: float = 0.0):
         self.sim = sim
         self.topology = topology or Topology()
+        #: transfers above this size serialize through the egress link in
+        #: chunks of this many bytes (0 = off: one indivisible reservation)
+        self.chunk_bytes = chunk_bytes
         self.hosts: dict[str, Host] = {}
         self._host_injections: dict[str, list[_Injection]] = {}
         self._pair_injections: dict[frozenset[str], list[_Injection]] = {}
@@ -81,6 +85,7 @@ class Network:
         self._obs = get_obs(sim)
         self._msg_counter = self._obs.metrics.counter("net.messages")
         self._bytes_counter = self._obs.metrics.counter("net.bytes")
+        self._chunk_counter = self._obs.metrics.counter("net.chunks")
 
     # -- host management ----------------------------------------------------
     def add_host(self, name: str, region: str, provider: str = "aws",
@@ -126,18 +131,45 @@ class Network:
         self._partitions.pop(frozenset((region_a, region_b)), None)
 
     def is_partitioned(self, region_a: str, region_b: str) -> bool:
-        end = self._partitions.get(frozenset((region_a, region_b)))
-        return end is not None and self.sim.now < end
+        key = frozenset((region_a, region_b))
+        end = self._partitions.get(key)
+        if end is None:
+            return False
+        if self.sim.now >= end:
+            # Elapsed partition: reap it so long fault-heavy runs don't
+            # re-examine dead entries on every reachability check.
+            del self._partitions[key]
+            return False
+        return True
 
     # -- latency queries ------------------------------------------------------
+    def _live_injections(self, table: dict, key) -> list[_Injection]:
+        """Injections under ``key`` that can still fire, pruning the rest.
+
+        Without pruning, every expired ``inject_*_delay`` window is scanned
+        by every message for the remainder of the run — an unbounded
+        slowdown in long fault-heavy simulations.
+        """
+        injections = table.get(key)
+        if not injections:
+            return []
+        now = self.sim.now
+        live = [inj for inj in injections if now < inj.end]
+        if len(live) != len(injections):
+            if live:
+                table[key] = live
+            else:
+                del table[key]
+        return live
+
     def injected_extra(self, src: Host, dst: Host) -> float:
         now = self.sim.now
         extra = 0.0
         for name in (src.name, dst.name):
-            for inj in self._host_injections.get(name, ()):
+            for inj in self._live_injections(self._host_injections, name):
                 extra += inj.active_extra(now)
-        for inj in self._pair_injections.get(
-                frozenset((src.region, dst.region)), ()):
+        for inj in self._live_injections(
+                self._pair_injections, frozenset((src.region, dst.region))):
             extra += inj.active_extra(now)
         return extra
 
@@ -172,6 +204,13 @@ class Network:
 
         Raises :class:`NetworkError`/:class:`HostDownError` if the
         destination is unreachable at send time.
+
+        With ``chunk_bytes`` set, a transfer above that size serializes
+        through the egress link as several short reservations instead of
+        one indivisible one: foreground traffic interleaves between
+        chunks, and a crash or partition mid-transfer aborts with only
+        the undelivered chunks outstanding (reachability is re-checked
+        between chunks).
         """
         tracer = self._obs.tracer
         span = (tracer.span("net:transmit", cat="net", component=src.name,
@@ -185,7 +224,19 @@ class Network:
             self._msg_counter.inc()
             self._bytes_counter.inc(nbytes)
             if src is not dst:
-                yield from src.egress.transmit(nbytes)
+                chunk = self.chunk_bytes
+                if chunk > 0 and nbytes > chunk:
+                    first = True
+                    for piece in iter_chunks(nbytes, chunk):
+                        if not first:
+                            # The link was released between chunks: the
+                            # world may have changed under the transfer.
+                            self.check_reachable(src, dst)
+                        first = False
+                        yield from src.egress.transmit(piece)
+                        self._chunk_counter.inc()
+                else:
+                    yield from src.egress.transmit(nbytes)
                 latency = self.oneway_latency(src, dst)
                 if latency > 0:
                     yield self.sim.timeout(latency)

@@ -246,7 +246,8 @@ class Rebalancer:
             try:
                 result = yield self.node.call(
                     src_rec.node, "ctl_migrate_keys",
-                    {"keys": sorted(stale), "dest": (dest_node,)})
+                    {"keys": sorted(stale), "dest": (dest_node,),
+                     "batch_bytes": self.manager.spec.batch_bytes})
             except TRANSIENT_ERRORS:
                 return len(stale)
             self.moved_keys.update(result["moved"])

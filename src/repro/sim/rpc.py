@@ -32,6 +32,10 @@ class NoSuchMethodError(RpcError):
     """The destination node has no handler registered for the method."""
 
 
+#: reserved wire method for batched calls; dispatched natively by RpcNode
+BATCH_METHOD = "__batch__"
+
+
 @dataclass(slots=True)
 class Message:
     """One request as seen by a handler."""
@@ -124,6 +128,70 @@ class RpcNode:
             yield from self.network.transmit(dst.host, self.host, wire_reply)
             return result
 
+    # -- batched calls ------------------------------------------------------
+    #
+    # A batch ships a list of (method, args, size) entries to ONE peer in a
+    # single message: one envelope, summed payload bytes, one egress-link
+    # reservation, one process — instead of one of each per entry.  The
+    # destination applies the entries in order and returns one result per
+    # entry ({"ok": True, "result": ...} or {"ok": False, "error": ...}),
+    # so a partial failure is attributable per entry.  A transport failure
+    # (peer down, partition) raises out of the whole call, meaning *every*
+    # entry is undelivered.
+
+    def call_batch(self, dst: "RpcNode",
+                   entries: list[tuple[str, dict, int]],
+                   reply_size: Optional[int] = None) -> Process:
+        """Ship ``entries`` to ``dst`` as one message; returns per-entry
+        results in order.  Each entry is ``(method, args, size)`` with the
+        same per-entry ``size`` a single :meth:`call` would use; the wire
+        carries one envelope plus the summed entry sizes."""
+        tracer = self._obs.tracer
+        parent = tracer.current() if tracer.enabled else None
+        return self.sim.process(
+            self._call(dst, BATCH_METHOD, {"entries": list(entries)},
+                       self._batch_size(entries), reply_size, parent),
+            name=f"rpcb:{self.name}->{dst.name}:batch{len(entries)}")
+
+    def send_oneway_batch(self, dst: "RpcNode",
+                          entries: list[tuple[str, dict, int]]) -> Process:
+        """Fire-and-forget batch: deliver and execute, swallowing network
+        errors (per-entry application errors are reported in the results,
+        which a oneway by definition never sees)."""
+        tracer = self._obs.tracer
+        parent = tracer.current() if tracer.enabled else None
+        return self.sim.process(
+            self._oneway(dst, BATCH_METHOD, {"entries": list(entries)},
+                         self._batch_size(entries), parent),
+            name=f"rpcb1w:{self.name}->{dst.name}:batch{len(entries)}")
+
+    def _batch_size(self, entries) -> int:
+        return self.ENVELOPE + sum(size for _, _, size in entries)
+
+    def _dispatch_batch(self, msg: Message) -> Generator:
+        """Apply a batch's entries in order, one result per entry.
+
+        An entry whose handler raises yields ``{"ok": False, ...}`` without
+        aborting the rest of the batch — the caller decides what to retry.
+        """
+        results = []
+        for method, args, _size in msg.args["entries"]:
+            handler = self._handlers.get(method)
+            if handler is None:
+                results.append({"ok": False,
+                                "error": f"NoSuchMethodError({method!r})"})
+                continue
+            self._served.inc()
+            sub = Message(src=msg.src, dst=msg.dst, method=method, args=args,
+                          size=msg.size, sent_at=msg.sent_at, trace=msg.trace)
+            try:
+                value = yield from handler(sub)
+            except Exception as exc:
+                results.append({"ok": False, "error": repr(exc)})
+            else:
+                results.append({"ok": True, "result": value})
+        return results
+
     def send_oneway(self, dst: "RpcNode", method: str,
                     args: Optional[dict[str, Any]] = None,
                     size: Optional[int] = None) -> Process:
@@ -162,6 +230,17 @@ class RpcNode:
         if self.host.down:
             from repro.net.network import HostDownError
             raise HostDownError(f"node {self.name} is down")
+        if msg.method == BATCH_METHOD:
+            tracer = self._obs.tracer
+            if tracer.enabled:
+                with tracer.span("handle:batch", cat="rpc.server",
+                                 component=self.name, parent=msg.trace,
+                                 src=msg.src,
+                                 entries=len(msg.args["entries"])):
+                    result = yield from self._dispatch_batch(msg)
+            else:
+                result = yield from self._dispatch_batch(msg)
+            return result
         handler = self._handlers.get(msg.method)
         if handler is None:
             raise NoSuchMethodError(
