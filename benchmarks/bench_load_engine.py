@@ -1,0 +1,260 @@
+"""Open-loop load engine: cohort aggregation cost + the scale-out bend.
+
+Two measurements, two CI gates (``--quick --check``):
+
+* **aggregation** — one million modeled users are run as a few hundred
+  client cohorts (one kernel process per cohort, thousands of users
+  each) against an unsaturated 1-shard deployment.  Gates: the whole
+  population fits in <= MAX_COHORT_PROCESSES standing processes, the
+  realized offered rate lands within MAX_OFFERED_ERROR of the configured
+  arrival rate, and the engine's bookkeeping stays cheap —
+  <= MAX_EVENTS_PER_OFFERED_OP kernel events per offered operation.
+* **scaleout** — the same offered-load sweep
+  ``bench_shard_scaleout.py`` runs, reduced to its headline: at the
+  saturating offered level, achieved throughput at 8 shards must be
+  >= MIN_SCALEOUT_RATIO x the 1-shard figure.  This is the curve the
+  closed-loop driver could never bend (it idled at ~52 ops/s regardless
+  of shard count); the open-loop engine saturates per-host egress, so
+  added shards on added hosts show up as added capacity.
+
+Output goes to ``results/BENCH_load_engine.json``.  Run as a script
+(``--quick`` shrinks the run for CI smoke) or via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.openloop import (
+    build_scaleout_deployment,
+    run_scaleout_cell,
+    scaleout_workload,
+)
+from repro.load.cohort import CohortSpec
+from repro.net.topology import US_EAST, US_WEST
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+OUT_PATH = RESULTS / "BENCH_load_engine.json"
+
+REGIONS = (US_EAST, US_WEST)
+
+#: acceptance: a million modeled users in at most this many standing
+#: kernel processes (one per cohort; operations are ephemeral)
+MAX_COHORT_PROCESSES = 1000
+
+#: acceptance: realized offered rate within this fraction of configured
+#: when the deployment is unsaturated
+MAX_OFFERED_ERROR = 0.05
+
+#: gate: kernel events per *offered* operation (arrival bookkeeping +
+#: the operation itself) — catches accidental per-arrival overhead
+MAX_EVENTS_PER_OFFERED_OP = 30.0
+
+#: gate: achieved(8 shards) / achieved(1 shard) at the saturating
+#: offered level — the scale-out curve must bend upward
+MIN_SCALEOUT_RATIO = 3.0
+
+
+# -- part 1: cohort aggregation ----------------------------------------------
+
+def run_aggregation(quick: bool = False) -> dict:
+    """A million modeled users, a few hundred cohort processes."""
+    cohorts = 200 if quick else 1000
+    users_per_cohort = 5000 if quick else 1000
+    total_users = cohorts * users_per_cohort
+    offered_total = 500.0          # ops/sec, well under 1-shard capacity
+    duration = 8.0 if quick else 20.0
+    rate_per_user = offered_total / total_users
+
+    dep, handle, workload = build_scaleout_deployment(shards=1, seed=23)
+    for i in range(cohorts):
+        region = REGIONS[i % len(REGIONS)]
+        dep.add_cohort(
+            CohortSpec(name=f"c{i:04d}", region=region,
+                       users=users_per_cohort, rate_per_user=rate_per_user,
+                       workload=workload),
+            sharded=handle)
+
+    started_wall = time.perf_counter()
+    started_events = dep.sim.events_processed
+    report = dep.load.run(duration, grace=1.0)
+    wall = time.perf_counter() - started_wall
+    events = dep.sim.events_processed - started_events
+
+    offered_error = abs(report["offered_rate"] - offered_total) / offered_total
+    return {
+        "cohorts": cohorts,
+        "users_per_cohort": users_per_cohort,
+        "modeled_users": report["modeled_users"],
+        "configured_rate": offered_total,
+        "duration_sim_sec": duration,
+        "offered": report["offered"],
+        "achieved": report["achieved"],
+        "shed": report["shed"],
+        "errors": report["errors"],
+        "offered_rate": round(report["offered_rate"], 3),
+        "offered_error": round(offered_error, 5),
+        "cohort_processes": len(dep.load.cohorts),
+        "kernel_events": events,
+        "events_per_offered_op": round(events / report["offered"], 1),
+        "wall_seconds": round(wall, 4),
+    }
+
+
+# -- part 2: the scale-out bend ----------------------------------------------
+
+def run_scaleout(quick: bool = False) -> dict:
+    shard_counts = (1, 8) if quick else (1, 2, 4, 8)
+    offered_levels = (500.0, 2000.0, 4000.0) if quick else \
+        (500.0, 1000.0, 2000.0, 4000.0, 8000.0)
+    duration = 4.0 if quick else 10.0
+    workload = scaleout_workload()
+    rows = [run_scaleout_cell(shards, offered, duration, workload=workload)
+            for shards in shard_counts for offered in offered_levels]
+    top = offered_levels[-1]
+    at_top = {row["shards"]: row for row in rows
+              if row["offered_per_sec"] == top}
+    ratio = (at_top[8]["achieved_per_sim_sec"]
+             / at_top[1]["achieved_per_sim_sec"])
+    return {
+        "workload": "ycsb-b uniform 64KB values, eventual consistency",
+        "shard_counts": list(shard_counts),
+        "offered_levels": list(offered_levels),
+        "duration_sim_sec": duration,
+        "saturating_offered": top,
+        "scaleout_ratio_8v1": round(ratio, 2),
+        "rows": rows,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    return {
+        "benchmark": "load_engine",
+        "quick": quick,
+        "aggregation": run_aggregation(quick),
+        "scaleout": run_scaleout(quick),
+    }
+
+
+def _load_existing() -> dict:
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+def emit(result: dict, rebaseline: bool = False) -> Path:
+    """Write the result, carrying the last full run's headline numbers
+    as ``baseline`` so CI quick runs don't clobber them (same idiom as
+    bench_kernel / bench_replication_batch)."""
+    existing = _load_existing()
+    carried = {}
+    if "baseline" in existing:
+        carried["baseline"] = existing["baseline"]
+    if rebaseline or not result["quick"] or "baseline" not in carried:
+        agg = result["aggregation"]
+        sc = result["scaleout"]
+        at_top = {row["shards"]: row["achieved_per_sim_sec"]
+                  for row in sc["rows"]
+                  if row["offered_per_sec"] == sc["saturating_offered"]}
+        carried["baseline"] = {
+            "quick": result["quick"],
+            "modeled_users": agg["modeled_users"],
+            "cohort_processes": agg["cohort_processes"],
+            "offered_error": agg["offered_error"],
+            "events_per_offered_op": agg["events_per_offered_op"],
+            "saturating_offered": sc["saturating_offered"],
+            "scaleout_ratio_8v1": sc["scaleout_ratio_8v1"],
+            "achieved_at_saturation": {str(k): v
+                                       for k, v in sorted(at_top.items())},
+        }
+    result.update(carried)
+    RESULTS.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return OUT_PATH
+
+
+def check_gate(result: dict) -> bool:
+    ok = True
+    agg = result["aggregation"]
+    if agg["cohort_processes"] > MAX_COHORT_PROCESSES:
+        print(f"gate: {agg['cohort_processes']} cohort processes for "
+              f"{agg['modeled_users']} users > {MAX_COHORT_PROCESSES} "
+              "-> REGRESSION")
+        ok = False
+    else:
+        print(f"gate: {agg['modeled_users']} modeled users in "
+              f"{agg['cohort_processes']} cohort processes -> ok")
+    if agg["offered_error"] > MAX_OFFERED_ERROR:
+        print(f"gate: offered rate {agg['offered_rate']} vs configured "
+              f"{agg['configured_rate']} ({agg['offered_error']:.1%} error "
+              f"> {MAX_OFFERED_ERROR:.0%}) -> REGRESSION")
+        ok = False
+    else:
+        print(f"gate: offered rate {agg['offered_rate']} within "
+              f"{agg['offered_error']:.1%} of configured -> ok")
+    if agg["events_per_offered_op"] > MAX_EVENTS_PER_OFFERED_OP:
+        print(f"gate: {agg['events_per_offered_op']} kernel events per "
+              f"offered op > {MAX_EVENTS_PER_OFFERED_OP} -> REGRESSION")
+        ok = False
+    else:
+        print(f"gate: {agg['events_per_offered_op']} kernel events per "
+              "offered op -> ok")
+    ratio = result["scaleout"]["scaleout_ratio_8v1"]
+    if ratio < MIN_SCALEOUT_RATIO:
+        print(f"gate: scale-out 8v1 ratio {ratio} < {MIN_SCALEOUT_RATIO} "
+              "(the curve stopped bending) -> REGRESSION")
+        ok = False
+    else:
+        print(f"gate: scale-out 8v1 ratio {ratio}x at saturating offered "
+              f"load -> ok")
+    return ok
+
+
+def test_load_engine(benchmark):
+    result = benchmark.pedantic(run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert check_gate(result)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short CI-smoke run")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the aggregation bounds hold and "
+                             f"8-shard throughput >= {MIN_SCALEOUT_RATIO}x "
+                             "1-shard at saturating offered load")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="replace the carried baseline block with this "
+                             "run's numbers")
+    args = parser.parse_args()
+    result = run(quick=args.quick)
+    out = emit(result, rebaseline=args.rebaseline)
+    agg = result["aggregation"]
+    print(f"aggregation: {agg['modeled_users']} users / "
+          f"{agg['cohort_processes']} cohorts, offered "
+          f"{agg['offered_rate']}/s (err {agg['offered_error']:.2%}), "
+          f"{agg['events_per_offered_op']} events/op")
+    print(f"{'shards':>6} {'offered/s':>10} {'achieved/s':>10} "
+          f"{'shed':>8} {'p95 ms':>8} {'qd95 ms':>8}")
+    for row in result["scaleout"]["rows"]:
+        print(f"{row['shards']:>6} {row['offered_per_sec']:>10.0f} "
+              f"{row['achieved_per_sim_sec']:>10.0f} {row['shed']:>8} "
+              f"{row['get_p95_ms']:>8.1f} {row['queue_delay_p95_ms']:>8.1f}")
+    print(f"scale-out 8v1 at {result['scaleout']['saturating_offered']:.0f} "
+          f"offered: {result['scaleout']['scaleout_ratio_8v1']}x")
+    print(f"wrote {out}")
+    if args.check and not check_gate(result):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,19 +1,26 @@
-"""Shard scale-out: throughput vs shard count (repro.shard).
+"""Shard scale-out: achieved throughput vs shard count (repro.shard).
 
-Runs the same YCSB-A closed-loop traffic against a namespace partitioned
-over 1 / 2 / 4 / 8 shards and reports, per shard count:
+Historically this bench drove a closed-loop YCSB-A workload and the
+curve came out dead flat (~52 ops/sim-sec from 1 to 8 shards): four
+latency-bound clients, not the store, were the ceiling.  Those numbers
+are preserved under ``baseline_closed_loop`` in the emitted JSON.
 
-* **ops/sec (sim)** — operations completed per second of *simulated*
-  time.  Closed-loop clients are latency-bound and the simulator has no
-  per-instance CPU model, so this stays flat across shard counts — the
-  partitioning adds no per-operation cost, which is itself the claim
-  under test (guards and routing are free on the hot path).
-* **kernel events/sec (wall)** — simulator events processed per second
-  of *wall-clock* time (``Simulator.events_processed``), the simulator's
-  own execution throughput as the deployment grows to 8 replica groups.
+The headline measurement is now **open-loop** (see :mod:`repro.load`):
+for each shard count, an offered-load sweep drives one cohort per
+region at a configured arrival rate against a deployment with one Tiera
+host per shard per region (``servers_per_region=shards``), so shards
+occupy real capacity.  Reported per (shard count, offered level):
+achieved ops/sim-sec, shed load, queueing delay, and tail latency —
+the scale-out curve bends upward because per-host egress saturates and
+added shards add hosts.
 
-Emits a machine-readable ``results/BENCH_shard_scaleout.json``.  Run as
-a script (``--quick`` shrinks the run for CI smoke) or via pytest.
+The closed-loop configuration still runs as a reference — same YCSB-A /
+multi-primaries setup as before, now with errors attributed by type
+(lock-lease expiries vs redirects vs interrupts) instead of one opaque
+count.
+
+Emits ``results/BENCH_shard_scaleout.json``.  Run as a script
+(``--quick`` shrinks the run for CI smoke) or via pytest.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import time
 from pathlib import Path
 
 from repro.bench.harness import build_deployment
+from repro.bench.openloop import run_scaleout_cell, scaleout_workload
 from repro.core.global_policy import GlobalPolicySpec, RegionPlacement
 from repro.net.topology import US_EAST, US_WEST
 from repro.tiera.policy import write_back_policy
@@ -31,10 +39,13 @@ from repro.workloads.ycsb import YcsbClient, YcsbWorkload
 
 SHARD_COUNTS = (1, 2, 4, 8)
 RESULTS = Path(__file__).resolve().parent.parent / "results"
+OUT_PATH = RESULTS / "BENCH_shard_scaleout.json"
 
 
-def _run_one(shards: int, duration: float, clients: int,
-             record_count: int) -> dict:
+# -- closed-loop reference (the historical configuration) --------------------
+
+def _closed_loop_one(shards: int, duration: float, clients: int,
+                     record_count: int) -> dict:
     dep = build_deployment([US_EAST, US_WEST], seed=11, shards=shards)
     spec = GlobalPolicySpec(
         name="scale",
@@ -43,7 +54,7 @@ def _run_one(shards: int, duration: float, clients: int,
         consistency="multi_primaries")
     handle = dep.start_sharded_instance("scale", spec)
     workload = YcsbWorkload.workload_a(record_count=record_count,
-                                       value_size=256)
+                                      value_size=256)
     drivers = []
     for i in range(clients):
         region = (US_WEST, US_EAST)[i % 2]
@@ -67,10 +78,15 @@ def _run_one(shards: int, duration: float, clients: int,
     events = dep.sim.events_processed - started_events
     ops = sum(driver.stats.ops for driver in drivers)
     errors = sum(driver.stats.errors for driver in drivers)
+    errors_by_type: dict[str, int] = {}
+    for driver in drivers:
+        for kind, n in driver.stats.errors_by_type.items():
+            errors_by_type[kind] = errors_by_type.get(kind, 0) + n
     return {
         "shards": shards,
         "ops": ops,
         "errors": errors,
+        "errors_by_type": dict(sorted(errors_by_type.items())),
         "sim_seconds": round(sim_elapsed, 6),
         "ops_per_sim_sec": round(ops / sim_elapsed, 3),
         "kernel_events": events,
@@ -79,16 +95,14 @@ def _run_one(shards: int, duration: float, clients: int,
     }
 
 
-def run(quick: bool = False) -> dict:
+def run_closed_loop(quick: bool = False) -> dict:
     duration = 20.0 if quick else 120.0
     clients = 2 if quick else 4
     record_count = 100 if quick else 400
-    rows = [_run_one(shards, duration, clients, record_count)
+    rows = [_closed_loop_one(shards, duration, clients, record_count)
             for shards in SHARD_COUNTS]
     return {
-        "benchmark": "shard_scaleout",
-        "workload": "ycsb-a",
-        "quick": quick,
+        "workload": "ycsb-a, multi_primaries (closed loop, 4 clients)",
         "duration_sim_sec": duration,
         "clients": clients,
         "record_count": record_count,
@@ -96,39 +110,101 @@ def run(quick: bool = False) -> dict:
     }
 
 
+# -- open-loop offered-load sweep (the headline) ------------------------------
+
+def run_open_loop(quick: bool = False) -> dict:
+    offered_levels = (500.0, 2000.0, 4000.0) if quick else \
+        (500.0, 1000.0, 2000.0, 4000.0, 8000.0)
+    duration = 4.0 if quick else 10.0
+    workload = scaleout_workload()
+    rows = [run_scaleout_cell(shards, offered, duration, workload=workload)
+            for shards in SHARD_COUNTS for offered in offered_levels]
+    return {
+        "workload": "ycsb-b uniform 64KB values, eventual (open loop)",
+        "offered_levels": list(offered_levels),
+        "duration_sim_sec": duration,
+        "rows": rows,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    return {
+        "benchmark": "shard_scaleout",
+        "quick": quick,
+        "open_loop": run_open_loop(quick),
+        "closed_loop": run_closed_loop(quick),
+    }
+
+
+def _load_existing() -> dict:
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
 def emit(result: dict) -> Path:
+    """Write the result, carrying the pre-open-loop closed-loop numbers
+    as ``baseline_closed_loop`` (pinned once from the last old-format
+    file, kept verbatim thereafter for the before/after story)."""
+    existing = _load_existing()
+    if "baseline_closed_loop" in existing:
+        result["baseline_closed_loop"] = existing["baseline_closed_loop"]
+    elif "rows" in existing:   # old single-table closed-loop format
+        result["baseline_closed_loop"] = {
+            "workload": existing.get("workload", "ycsb-a"),
+            "quick": existing.get("quick"),
+            "duration_sim_sec": existing.get("duration_sim_sec"),
+            "clients": existing.get("clients"),
+            "record_count": existing.get("record_count"),
+            "rows": existing["rows"],
+        }
     RESULTS.mkdir(exist_ok=True)
-    out = RESULTS / "BENCH_shard_scaleout.json"
-    out.write_text(json.dumps(result, indent=2) + "\n")
-    return out
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return OUT_PATH
 
 
 def test_shard_scaleout(benchmark):
     result = benchmark.pedantic(run, kwargs={"quick": True},
                                 rounds=1, iterations=1)
     emit(result)
-    by_shards = {row["shards"]: row for row in result["rows"]}
-    assert set(by_shards) == set(SHARD_COUNTS)
-    for row in result["rows"]:
+    open_rows = result["open_loop"]["rows"]
+    top = result["open_loop"]["offered_levels"][-1]
+    at_top = {row["shards"]: row for row in open_rows
+              if row["offered_per_sec"] == top}
+    assert set(at_top) == set(SHARD_COUNTS)
+    # The whole point of the open-loop driver: the curve bends upward.
+    assert (at_top[8]["achieved_per_sim_sec"]
+            >= 3.0 * at_top[1]["achieved_per_sim_sec"])
+    # Closed-loop reference still runs, with errors attributed by type.
+    for row in result["closed_loop"]["rows"]:
         assert row["ops"] > 0
-    # Splitting the namespace must not shrink throughput materially.
-    assert (by_shards[4]["ops_per_sim_sec"]
-            >= 0.8 * by_shards[1]["ops_per_sim_sec"])
+        assert sum(row["errors_by_type"].values()) == row["errors"]
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
-                        help="short CI-smoke run (20s sim, 2 clients)")
+                        help="short CI-smoke run")
     args = parser.parse_args()
     result = run(quick=args.quick)
     out = emit(result)
-    header = f"{'shards':>6} {'ops':>8} {'ops/sim-s':>10} {'kev/wall-s':>11}"
-    print(header)
-    for row in result["rows"]:
+    print("open loop (offered-load sweep):")
+    print(f"{'shards':>6} {'offered/s':>10} {'achieved/s':>10} "
+          f"{'shed':>8} {'p95 ms':>8}")
+    for row in result["open_loop"]["rows"]:
+        print(f"{row['shards']:>6} {row['offered_per_sec']:>10.0f} "
+              f"{row['achieved_per_sim_sec']:>10.0f} {row['shed']:>8} "
+              f"{row['get_p95_ms']:>8.1f}")
+    print("closed loop (reference):")
+    print(f"{'shards':>6} {'ops':>8} {'ops/sim-s':>10}  errors")
+    for row in result["closed_loop"]["rows"]:
+        kinds = ", ".join(f"{k}={v}" for k, v in
+                          row["errors_by_type"].items()) or "none"
         print(f"{row['shards']:>6} {row['ops']:>8} "
-              f"{row['ops_per_sim_sec']:>10.1f} "
-              f"{row['kernel_events_per_wall_sec']:>11.0f}")
+              f"{row['ops_per_sim_sec']:>10.1f}  {kinds}")
     print(f"wrote {out}")
 
 

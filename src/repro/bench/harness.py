@@ -15,6 +15,8 @@ from repro.core.global_policy import GlobalPolicySpec
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.core.wiera import WieraService
+from repro.load.cohort import ClientCohort, CohortSpec
+from repro.load.engine import LoadEngine
 from repro.net.network import Network
 from repro.net.topology import US_EAST, Topology
 from repro.obs.api import Observability, get_obs
@@ -43,6 +45,9 @@ class Deployment:
     faults: Optional[FaultSchedule] = None
     #: default shard count for start_sharded_instance (1 = unsharded)
     shards: int = 1
+    #: open-loop cohorts, created lazily by add_cohort (None = unused,
+    #: and the deployment is bit-identical to pre-load-engine builds)
+    load: Optional[LoadEngine] = None
 
     # -- driving -------------------------------------------------------------
     def drive(self, gen: Generator, name: str = "main"):
@@ -102,6 +107,42 @@ class Deployment:
         self.clients[cname] = client
         return client
 
+    def add_cohort(self, spec: CohortSpec,
+                   instances: Optional[list[dict]] = None,
+                   sharded: Optional[ShardHandle] = None,
+                   provider: str = "aws", vm: str = "generic",
+                   request_timeout: Optional[float] = None,
+                   retry_policy: Optional[RetryPolicy] = None) -> ClientCohort:
+        """Stand up one open-loop client cohort (see :mod:`repro.load`).
+
+        Creates the cohort's shared router/connection-pool client in
+        ``spec.region`` (attached to ``instances`` or a ``sharded``
+        handle, exactly like :meth:`add_client`), registers the cohort
+        with the deployment's :class:`~repro.load.engine.LoadEngine`
+        (created on first use), and returns it un-started — call
+        ``dep.load.run(duration)`` or ``cohort.start()`` yourself.
+        """
+        if self.load is None:
+            self.load = LoadEngine(self.sim)
+        client = self.add_client(
+            spec.region, provider=provider, vm=vm,
+            name=f"cohort-{spec.name}", instances=instances,
+            request_timeout=request_timeout, retry_policy=retry_policy,
+            sharded=sharded)
+        rng = self.rng.substream("load.cohort", spec.name)
+        return self.load.add(ClientCohort(self.sim, client, spec, rng))
+
+    def add_scenario(self, scenario, **cohort_kw) -> LoadEngine:
+        """Instantiate every cohort of a :class:`~repro.load.scenarios.
+        Scenario` (plus its fault schedule, if it has one) and return
+        the load engine.  ``cohort_kw`` is passed to each
+        :meth:`add_cohort` call (``instances=...`` / ``sharded=...``)."""
+        for spec in scenario.specs:
+            self.add_cohort(spec, **cohort_kw)
+        if scenario.faults is not None:
+            scenario.faults(self)
+        return self.load
+
     def metric_total(self, name: str, **labels) -> float:
         """Sum every counter/gauge called ``name`` whose labels include
         ``labels`` — e.g. total send failures across all instances."""
@@ -151,7 +192,8 @@ def build_deployment(regions: Sequence[str],
                      heartbeat_interval: float = 5.0,
                      with_tracing: bool = False,
                      shards: int = 1,
-                     chunk_bytes: float = 0.0) -> Deployment:
+                     chunk_bytes: float = 0.0,
+                     servers_per_region: int = 1) -> Deployment:
     """Stand up Wiera + one Tiera server per (region, provider).
 
     ``providers`` maps region -> iterable of providers (default: aws only).
@@ -166,6 +208,11 @@ def build_deployment(regions: Sequence[str],
     ``chunk_bytes`` enables chunked WAN transfers (see
     :meth:`repro.net.network.Network.transmit`); 0 keeps transfers as a
     single indivisible egress reservation.
+    ``servers_per_region`` stands up N Tiera servers (N hosts, N egress
+    links) per (region, provider) instead of one, so shard placements
+    spread across real capacity — the TSM picks the least-loaded server
+    per placement.  The default of 1 keeps host names and registration
+    order identical to older builds.
     """
     sim = Simulator()
     obs = get_obs(sim)
@@ -178,14 +225,25 @@ def build_deployment(regions: Sequence[str],
                          heartbeat_interval=heartbeat_interval)
     dep = Deployment(sim=sim, network=network, rng=rng, wiera=wiera,
                      ledger=ledger, obs=obs, shards=shards)
+    if servers_per_region < 1:
+        raise ValueError(f"servers_per_region must be >= 1: "
+                         f"{servers_per_region}")
     for region in regions:
         for provider in (providers or {}).get(region, ("aws",)):
             vm = server_vm
-            host = network.add_host(f"tsrv-host-{region}-{provider}",
-                                    region, provider, vm)
-            server = TieraServer(sim, network, host, region, provider,
-                                 rng=rng, ledger=ledger)
-            dep.servers[(region, provider)] = server
+            for i in range(servers_per_region):
+                # The first server keeps the historical host name and
+                # (region, provider) key, so servers_per_region=1 is
+                # bit-identical to older deployments.
+                suffix = "" if i == 0 else f"-{i}"
+                host = network.add_host(
+                    f"tsrv-host-{region}-{provider}{suffix}",
+                    region, provider, vm)
+                server = TieraServer(sim, network, host, region, provider,
+                                     rng=rng, ledger=ledger)
+                key = ((region, provider) if i == 0
+                       else (region, provider, i))
+                dep.servers[key] = server
     drive(sim, wiera.register_servers(list(dep.servers.values())),
           name="bootstrap")
     return dep

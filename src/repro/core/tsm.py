@@ -82,7 +82,15 @@ class TieraServerManager:
             raise KeyError(
                 f"no Tiera server available in {region}/{provider} "
                 f"(registered: {sorted(self.servers)})")
-        return sorted(candidates, key=lambda r: r.server_id)[0]
+        # Least-loaded first (fewest hosted instances), server id as the
+        # deterministic tie-break — with one server per (region, provider)
+        # this is exactly the old lowest-id choice, so single-server
+        # deployments stay bit-identical; with several (see
+        # ``build_deployment(servers_per_region=N)``) shard placements
+        # spread across hosts instead of stacking on one egress link.
+        return sorted(candidates,
+                      key=lambda r: (len(r.server.instances),
+                                     r.server_id))[0]
 
     # -- heartbeats --------------------------------------------------------------
     def start_heartbeats(self) -> None:

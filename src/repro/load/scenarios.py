@@ -1,0 +1,216 @@
+"""Geo-scenario library: named load shapes worth reproducing.
+
+Each builder returns a :class:`Scenario` — a set of
+:class:`~repro.load.cohort.CohortSpec` entries plus an optional fault
+hook — describing *what the world does to the store*, independent of any
+particular deployment.  The bench harness turns a scenario into running
+cohorts with :meth:`Deployment.add_cohort`; the ``faults`` hook, when
+present, is called with the deployment to script the accompanying
+infrastructure failures (see :func:`failover_storm`).
+
+The shapes come straight from the motivating papers: Anna's flash crowd
+(sudden 10x spikes the store must absorb), Wiera's Fig. 8 diurnal
+follow-the-sun load (region curves from :mod:`repro.workloads.clients`
+at population scale), hotspot-key shift (the Zipf head migrating through
+the key space), and a multi-region failover storm (full offered load
+continuing while a region dies and recovers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.load.arrivals import (
+    constant_rate,
+    diurnal_rate,
+    flash_crowd_rate,
+)
+from repro.load.cohort import CohortSpec
+from repro.workloads.clients import GeoClientPopulation
+from repro.workloads.ycsb import YcsbWorkload
+
+
+@dataclass
+class Scenario:
+    """A deployment-independent bundle of cohort specs (+ fault hook)."""
+
+    name: str
+    specs: list[CohortSpec] = field(default_factory=list)
+    #: called with the Deployment after cohorts exist; returns a started
+    #: FaultSchedule (or None) scripting the scenario's infrastructure side
+    faults: Optional[Callable] = None
+    notes: str = ""
+
+
+def flash_crowd(regions: Sequence[str], users_per_region: int = 50_000,
+                rate_per_user: float = 0.02, multiplier: float = 10.0,
+                at: float = 60.0, rise: float = 10.0, hold: float = 60.0,
+                fall: float = 30.0, crowd_region: Optional[str] = None,
+                workload: Optional[YcsbWorkload] = None,
+                **cohort_kw) -> Scenario:
+    """Steady load everywhere; one region's crowd spikes ``multiplier``x.
+
+    The spiking region (default: the first) carries a flash-crowd rate
+    shape; the rest stay flat, so the run shows both the absorbing
+    region's saturation behavior and the bystanders' steady latency.
+    """
+    crowd = crowd_region or regions[0]
+    if crowd not in regions:
+        raise ValueError(f"crowd_region {crowd!r} not in {list(regions)}")
+    workload = workload or YcsbWorkload.workload_b()
+    base = users_per_region * rate_per_user
+    specs = []
+    for region in regions:
+        if region == crowd:
+            rate_fn, peak = flash_crowd_rate(base, multiplier, at,
+                                             rise=rise, hold=hold, fall=fall)
+        else:
+            rate_fn, peak = constant_rate(base)
+        specs.append(CohortSpec(
+            name=f"flash-{region}", region=region, users=users_per_region,
+            rate_per_user=rate_per_user, workload=workload,
+            rate_fn=rate_fn, peak_rate=peak, **cohort_kw))
+    return Scenario(
+        name="flash_crowd", specs=specs,
+        notes=f"{crowd} spikes {multiplier}x at t={at}s "
+              f"(rise {rise}s, hold {hold}s, fall {fall}s)")
+
+
+def diurnal(regions: Sequence[str], users_per_region: int = 100_000,
+            rate_per_user: float = 0.01, first_peak: float = 60.0,
+            stagger: float = 120.0, sigma: float = 40.0,
+            min_users_frac: float = 0.05,
+            workload: Optional[YcsbWorkload] = None,
+            population: Optional[GeoClientPopulation] = None,
+            **cohort_kw) -> Scenario:
+    """Follow-the-sun load: each region's offered rate follows its
+    :class:`~repro.workloads.clients.RegionActivity` Gaussian, peaks
+    staggered region after region — the Fig. 8 experiment's client
+    behavior scaled from 10 real clients to ``users_per_region`` modeled
+    users per region."""
+    if population is None:
+        population = GeoClientPopulation.staggered(
+            list(regions), first_peak=first_peak, stagger=stagger,
+            sigma=sigma, max_clients=users_per_region,
+            min_clients=max(1, int(users_per_region * min_users_frac)))
+    workload = workload or YcsbWorkload.workload_b()
+    specs = []
+    for region in regions:
+        rate_fn, peak = diurnal_rate(population, region, rate_per_user)
+        specs.append(CohortSpec(
+            name=f"diurnal-{region}", region=region,
+            users=population.activities[region].max_clients,
+            rate_per_user=rate_per_user, workload=workload,
+            rate_fn=rate_fn, peak_rate=peak, **cohort_kw))
+    scenario = Scenario(
+        name="diurnal", specs=specs,
+        notes=f"peaks staggered {stagger}s apart starting t={first_peak}s")
+    scenario.population = population
+    return scenario
+
+
+class ShiftingHotspot:
+    """Key chooser whose hot range migrates through the record space.
+
+    At any instant, ``hot_frac`` of arrivals target a contiguous window
+    of ``hot_size`` records; every ``shift_every`` sim-seconds the window
+    jumps to the next position (wrapping), modeling trending content —
+    yesterday's hot keys go cold and a new set takes the head of the
+    distribution.  Deterministic given the cohort rng and sim clock.
+    """
+
+    def __init__(self, rng, sim, record_count: int, hot_size: int,
+                 hot_frac: float, shift_every: float):
+        if not 0.0 <= hot_frac <= 1.0:
+            raise ValueError(f"hot_frac must be in [0, 1]: {hot_frac}")
+        if not 0 < hot_size <= record_count:
+            raise ValueError(f"hot_size must be in (0, {record_count}]: "
+                             f"{hot_size}")
+        if shift_every <= 0:
+            raise ValueError(f"shift_every must be positive: {shift_every}")
+        self.rng = rng
+        self.sim = sim
+        self.record_count = record_count
+        self.hot_size = hot_size
+        self.hot_frac = hot_frac
+        self.shift_every = shift_every
+
+    def hot_base(self, t: float) -> int:
+        epoch = int(t / self.shift_every)
+        return (epoch * self.hot_size) % self.record_count
+
+    def next(self) -> int:
+        if self.rng.random() < self.hot_frac:
+            base = self.hot_base(self.sim.now)
+            return (base + int(self.rng.integers(self.hot_size))) \
+                % self.record_count
+        return int(self.rng.integers(self.record_count))
+
+
+def hotspot_shift(regions: Sequence[str], users_per_region: int = 50_000,
+                  rate_per_user: float = 0.01, hot_frac: float = 0.8,
+                  hot_size: Optional[int] = None, shift_every: float = 60.0,
+                  workload: Optional[YcsbWorkload] = None,
+                  **cohort_kw) -> Scenario:
+    """Constant offered load whose *key skew* moves: 80% of operations
+    hit a small hot window that jumps every ``shift_every`` seconds."""
+    workload = workload or YcsbWorkload.workload_b()
+    size = hot_size or max(1, workload.record_count // 100)
+
+    def chooser_factory(rng, sim):
+        return ShiftingHotspot(rng, sim, workload.record_count, size,
+                               hot_frac, shift_every)
+
+    specs = [CohortSpec(
+        name=f"hotspot-{region}", region=region, users=users_per_region,
+        rate_per_user=rate_per_user, workload=workload,
+        chooser_factory=chooser_factory, **cohort_kw)
+        for region in regions]
+    return Scenario(
+        name="hotspot_shift", specs=specs,
+        notes=f"{hot_frac:.0%} of ops on {size} keys, "
+              f"window shifts every {shift_every}s")
+
+
+def failover_storm(regions: Sequence[str], users_per_region: int = 50_000,
+                   rate_per_user: float = 0.01, crash_at: float = 30.0,
+                   crash_duration: float = 60.0,
+                   victim_region: Optional[str] = None,
+                   partition_pairs: Sequence[tuple] = (),
+                   workload: Optional[YcsbWorkload] = None,
+                   **cohort_kw) -> Scenario:
+    """Full offered load keeps arriving while a region's Tiera server
+    crashes (and optionally the WAN partitions), then recovers — the
+    open-loop version of the Fig. 7 fault experiments: the crowd does
+    not politely pause for the outage, so the report shows exactly how
+    much offered load the surviving regions absorbed vs shed."""
+    victim = victim_region or regions[-1]
+    if victim not in regions:
+        raise ValueError(f"victim_region {victim!r} not in {list(regions)}")
+    workload = workload or YcsbWorkload.workload_b()
+    specs = [CohortSpec(
+        name=f"storm-{region}", region=region, users=users_per_region,
+        rate_per_user=rate_per_user, workload=workload, **cohort_kw)
+        for region in regions]
+
+    def faults(dep):
+        schedule = dep.fault_schedule(name="failover-storm")
+        schedule.crash(crash_at, dep.server(victim),
+                       duration=crash_duration)
+        for a, b in partition_pairs:
+            schedule.partition(crash_at, a, b, duration=crash_duration)
+        return schedule.start()
+
+    return Scenario(
+        name="failover_storm", specs=specs, faults=faults,
+        notes=f"{victim} crashes at t={crash_at}s for {crash_duration}s")
+
+
+#: name -> builder, for CLIs and examples (``--scenario flash_crowd``)
+SCENARIOS: dict[str, Callable[..., Scenario]] = {
+    "flash_crowd": flash_crowd,
+    "diurnal": diurnal,
+    "hotspot_shift": hotspot_shift,
+    "failover_storm": failover_storm,
+}

@@ -34,7 +34,43 @@ class RngRegistry:
             self._streams[name] = gen
         return gen
 
+    def substream(self, name: str, key: int | str) -> np.random.Generator:
+        """An indexed member of a named stream family.
+
+        ``substream("load.cohort", 7)`` and ``substream("load.cohort", 8)``
+        are statistically independent generators with no shared state, so
+        two client cohorts drawing inter-arrival times never perturb each
+        other's sequences — adding, removing, or reordering cohorts leaves
+        every other cohort's draws bit-identical.  Each (name, key) pair
+        maps to one cached generator; the split is by seed derivation, not
+        by jumping a shared stream, so there is no cross-talk by
+        construction.
+        """
+        return self.stream(f"{name}[{key}]")
+
     def spawn(self, name: str) -> "RngRegistry":
         """Derive a child registry (e.g. one per experiment trial)."""
         digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()
         return RngRegistry(int.from_bytes(digest[:8], "little"))
+
+
+def exponential_interarrival(rng: np.random.Generator, rate: float) -> float:
+    """One exponential inter-arrival gap (seconds) for a Poisson process
+    of ``rate`` events/second.  Deterministic given the generator state."""
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    return float(rng.exponential(1.0 / rate))
+
+
+def interarrival_times(rng: np.random.Generator, rate: float,
+                       horizon: float):
+    """Yield successive Poisson arrival offsets in ``[0, horizon)``.
+
+    A convenience for tests and trace construction; the open-loop engine
+    itself draws incrementally via :func:`exponential_interarrival` so
+    arrivals interleave with simulation time.
+    """
+    t = exponential_interarrival(rng, rate)
+    while t < horizon:
+        yield t
+        t += exponential_interarrival(rng, rate)

@@ -118,8 +118,16 @@ class YcsbStats:
     reads: int = 0
     updates: int = 0
     errors: int = 0
+    #: error counts keyed by exception class name (TimeoutError,
+    #: WrongShardError, LockServiceError, ...) — same total as ``errors``
+    errors_by_type: dict[str, int] = field(default_factory=dict)
     read_latencies: list[float] = field(default_factory=list)
     update_latencies: list[float] = field(default_factory=list)
+
+    def note_error(self, exc: BaseException) -> None:
+        self.errors += 1
+        kind = type(exc).__name__
+        self.errors_by_type[kind] = self.errors_by_type.get(kind, 0) + 1
 
 
 class YcsbClient:
@@ -175,8 +183,8 @@ class YcsbClient:
             started = self.sim.now
             try:
                 result = yield from self.client.get(key)
-            except Exception:
-                self.stats.errors += 1
+            except Exception as exc:
+                self.stats.note_error(exc)
                 return
             self.stats.ops += 1
             self.stats.reads += 1
@@ -187,8 +195,8 @@ class YcsbClient:
             value = self.workload.value(self.rng)
             try:
                 result = yield from self.client.put(key, value)
-            except Exception:
-                self.stats.errors += 1
+            except Exception as exc:
+                self.stats.note_error(exc)
                 return
             self.stats.ops += 1
             self.stats.updates += 1

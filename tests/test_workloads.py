@@ -196,3 +196,55 @@ class TestGeoPopulation:
                              max_clients=10, min_clients=1)
         count = act.active_clients(t)
         assert 1 <= count <= 10
+
+    def test_active_clients_deterministic_over_time(self):
+        """Pure function of t: re-evaluation and fresh instances agree."""
+        def make():
+            return RegionActivity("r", peak_time=300.0, sigma=45.0,
+                                  max_clients=25, min_clients=2)
+        a, b = make(), make()
+        times = [0.0, 150.0, 299.9, 300.0, 412.5, 1e4]
+        first = [a.active_clients(t) for t in times]
+        assert first == [a.active_clients(t) for t in times]
+        assert first == [b.active_clients(t) for t in times]
+
+    def test_bell_is_symmetric_and_monotone(self):
+        act = RegionActivity("r", peak_time=200.0, sigma=30.0,
+                             max_clients=100)
+        for dt in (10.0, 50.0, 90.0):
+            assert act.active_clients(200.0 - dt) == \
+                act.active_clients(200.0 + dt)
+        levels = [act.active_clients(200.0 + dt)
+                  for dt in (0.0, 30.0, 60.0, 90.0, 120.0)]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_staggered_parameters(self):
+        pop = GeoClientPopulation.staggered(
+            ["a", "b", "c"], first_peak=60.0, stagger=90.0, sigma=15.0,
+            max_clients=40, min_clients=4)
+        assert list(pop.activities) == ["a", "b", "c"]
+        assert [act.peak_time for act in pop.activities.values()] == \
+            [60.0, 150.0, 240.0]
+        for act in pop.activities.values():
+            assert act.sigma == 15.0
+            assert act.max_clients == 40 and act.min_clients == 4
+
+    def test_busiest_region_tie_break_deterministic(self):
+        # identical curves: the lexicographically last region wins the
+        # (count, name) max, and it must win consistently
+        pop = GeoClientPopulation.staggered(
+            ["x", "y"], first_peak=0.0, stagger=0.0, sigma=10.0,
+            max_clients=10)
+        assert pop.busiest_region(0.0) == "y"
+        assert pop.busiest_region(0.0) == pop.busiest_region(0.0)
+
+    def test_activity_gate_tracks_sim_clock(self):
+        from repro.sim.kernel import Simulator
+        sim = Simulator()
+        pop = GeoClientPopulation.staggered(
+            ["r"], first_peak=100.0, stagger=0.0, sigma=10.0,
+            max_clients=10)
+        gate = pop.activity_gate(sim, "r", client_index=9)
+        assert not gate()                # t=0: far from the peak
+        sim.run(until=100.0)
+        assert gate()                    # at the peak everyone is active
