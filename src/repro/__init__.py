@@ -28,14 +28,18 @@ Quickstart::
 """
 
 from repro.bench.harness import Deployment, build_deployment, drive
+from repro.autoscale import Autoscaler
 from repro.core import (
+    AutoscaleSpec,
     ChangePrimarySpec,
     ColdDataSpec,
     DynamicConsistencySpec,
     FailureSpec,
     GlobalPolicySpec,
     RegionPlacement,
+    ReplicaScaleSpec,
     ShardSpec,
+    TierScaleSpec,
     WieraClient,
     WieraService,
 )
@@ -65,6 +69,10 @@ __all__ = [
     "ColdDataSpec",
     "FailureSpec",
     "ShardSpec",
+    "AutoscaleSpec",
+    "ReplicaScaleSpec",
+    "TierScaleSpec",
+    "Autoscaler",
     "HashRing",
     "ShardHandle",
     "ShardMap",

@@ -1,0 +1,23 @@
+"""Closed-loop elasticity on the rebalance plane (PR 7).
+
+``repro.autoscale`` watches the load signals the rest of the system
+already emits (``load.*`` counters, cohort queues, egress links) and
+actuates the elasticity primitives the earlier PRs built: shard
+add/remove (PR 5's rebalancer), per-shard replica growth (§4.4 recovery
+machinery), and tier demotion (Figure 6(a) cold-data plumbing).
+
+Enable it per policy with ``GlobalPolicySpec(autoscale=AutoscaleSpec(
+target_per_shard=...))`` — the default of ``None`` constructs nothing
+and leaves every run bit-identical — or per deployment with
+``build_deployment(autoscale=...)``.
+"""
+
+from repro.autoscale.controller import Autoscaler, AutoscaleDecision
+from repro.autoscale.signals import SignalReader, SignalSample
+
+__all__ = [
+    "Autoscaler",
+    "AutoscaleDecision",
+    "SignalReader",
+    "SignalSample",
+]

@@ -1,0 +1,370 @@
+"""The autoscaler: close the loop between load signals and elasticity.
+
+PR 6 built the open-loop load engine and the scale-out bend; PR 5 built
+live shard rebalancing.  This controller connects them: a single
+simulation process samples the :class:`~repro.autoscale.signals.
+SignalReader` every ``decision_interval`` sim-seconds and actuates three
+levers, cheapest-to-observe first:
+
+1. **Shards** — offered rate above ``high_water`` of current capacity
+   (``shards x target_per_shard``), any shed beyond ``shed_tolerance``,
+   or a saturated egress link grows the shard count toward demand via
+   :meth:`~repro.shard.map.ShardManager.add_shard`; a rate that would
+   still fit under ``low_water`` of the *post-removal* capacity,
+   sustained for ``scale_down_windows`` consecutive windows, shrinks it
+   by one via ``remove_shard``.  The asymmetric bands plus the
+   post-removal capacity test are the hysteresis that stops flapping.
+2. **Replicas** — once the shard lever is pinned at ``max_shards`` and
+   demand is still hot, grow each shard's replica group with elastic
+   instances (:meth:`~repro.core.tim.TieraInstanceManager.add_replica`)
+   placed in the busiest observed region; calm retires them first,
+   before any shard is removed.
+3. **Tier** — sustained calm with nothing left to shrink demotes idle
+   data to a cheaper tier (``ctl_demote_cold``), consulting the Table 4
+   price book first when ``price_aware``; promotion back rides the
+   policy's existing get-triggered rules.
+
+Every action is performed inline in the decision process and bracketed
+by ``cooldown``; ``max_actions_in_flight`` is enforced as a hard guard
+on top, so the controller can never race its own rebalances.  Every
+decision — including the ones that do nothing, and why — is kept as an
+:class:`AutoscaleDecision` audit record and counted under
+``autoscale.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.autoscale.signals import SignalReader, SignalSample
+from repro.core.global_policy import AutoscaleSpec
+from repro.obs.api import get_obs
+from repro.sim.kernel import Interrupt
+from repro.storage.cost import PRICE_BOOK
+
+
+@dataclass(frozen=True)
+class AutoscaleDecision:
+    """Audit record for one decision window."""
+
+    time: float
+    offered_rate: float
+    shed: int
+    queue_depth: int
+    egress_utilization: float
+    shards: int           # shard count when the decision was taken
+    desired: int          # shard count the controller wanted
+    action: str           # hold|scale_up|scale_down|replica_add|
+                          # replica_remove|tier_demote|skip_cooldown|skip_busy
+    reason: str
+    took: float = 0.0     # sim-seconds the actuation cost
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "time": self.time, "offered_rate": self.offered_rate,
+            "shed": self.shed, "queue_depth": self.queue_depth,
+            "egress_utilization": self.egress_utilization,
+            "shards": self.shards, "desired": self.desired,
+            "action": self.action, "reason": self.reason,
+            "took": self.took, "detail": self.detail,
+        }
+
+
+class Autoscaler:
+    """One controller per sharded namespace (see module docstring)."""
+
+    def __init__(self, manager, spec: AutoscaleSpec,
+                 reader: SignalReader, retry_policy=None):
+        self.manager = manager            # repro.shard.map.ShardManager
+        self.sim = manager.sim
+        self.spec = spec
+        self.reader = reader
+        self.retry_policy = retry_policy
+        self._proc = None
+        self._obs = get_obs(self.sim)
+        self._cooldown_until = 0.0
+        self._calm_streak = 0
+        self._in_flight = 0
+        self.decisions: list[AutoscaleDecision] = []
+        metrics = self._obs.metrics
+        ns = manager.base_id
+        self._c_decisions = metrics.counter("autoscale.decisions",
+                                            namespace=ns)
+        self._c_scale_ups = metrics.counter("autoscale.scale_ups",
+                                            namespace=ns)
+        self._c_scale_downs = metrics.counter("autoscale.scale_downs",
+                                              namespace=ns)
+        self._c_replica_adds = metrics.counter("autoscale.replica_adds",
+                                               namespace=ns)
+        self._c_replica_removes = metrics.counter(
+            "autoscale.replica_removes", namespace=ns)
+        self._c_tier_demotions = metrics.counter(
+            "autoscale.tier_demotions", namespace=ns)
+        self._g_desired = metrics.gauge("autoscale.desired_shards",
+                                        namespace=ns)
+        self._g_offered = metrics.gauge("autoscale.offered_rate",
+                                        namespace=ns)
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.sim.process(
+                self._run(), name=f"autoscaler:{self.manager.base_id}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("autoscaler stopped")
+        self._proc = None
+
+    # -- state queries -------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.manager.map.shards) if self.manager.map else 0
+
+    def shard_ids(self) -> list[str]:
+        return sorted(self.manager.map.shards) if self.manager.map else []
+
+    def elastic_replica_count(self) -> int:
+        wiera = self.manager.wiera
+        return sum(len(wiera.tim(sid).elastic_replicas)
+                   for sid in self.shard_ids())
+
+    def audit(self) -> list[dict]:
+        return [d.as_dict() for d in self.decisions]
+
+    # -- the control loop ----------------------------------------------------
+    def _run(self) -> Generator:
+        spec = self.spec
+        try:
+            # Prime the reader: the first sample has no window behind it.
+            self.reader.sample(self.sim.now)
+            while True:
+                yield self.sim.timeout(spec.decision_interval)
+                sample = self.reader.sample(self.sim.now)
+                yield from self._decide(sample)
+        except Interrupt:
+            return
+
+    def _decide(self, sample: SignalSample) -> Generator:
+        spec = self.spec
+        shards = self.shards
+        capacity = shards * spec.target_per_shard
+        self._g_offered.set(sample.offered_rate)
+        self._c_decisions.inc()
+
+        hot = (sample.shed > spec.shed_tolerance
+               or sample.offered_rate > spec.high_water * capacity
+               or sample.egress_utilization > spec.high_water)
+        # Hysteresis: scale down only if demand fits comfortably under the
+        # capacity we would have AFTER losing one shard (or one replica
+        # set) — otherwise removal would immediately re-trigger growth.
+        calm = (not hot
+                and sample.offered_rate
+                <= spec.low_water * spec.target_per_shard * max(shards - 1, 1)
+                and sample.queue_depth == 0)
+
+        desired = shards
+        if hot:
+            desired = max(
+                shards + 1,
+                math.ceil(sample.offered_rate
+                          / (spec.high_water * spec.target_per_shard)))
+            # Shed load is an emergency, not a band violation: demand
+            # already exceeds what we can observe (the queue is
+            # overflowing, so offered_rate under-reports it) and every
+            # window spent converging sheds more.  Go straight to the
+            # ceiling; the calm path brings it back down afterwards.
+            if sample.shed > spec.shed_tolerance:
+                desired = spec.max_shards
+        desired = min(max(desired, spec.min_shards), spec.max_shards)
+        self._g_desired.set(desired)
+
+        if self.sim.now < self._cooldown_until:
+            self._record(sample, shards, desired, "skip_cooldown",
+                         f"cooldown until t={self._cooldown_until:.1f}")
+            return
+        if self._in_flight >= spec.max_actions_in_flight:
+            self._record(sample, shards, desired, "skip_busy",
+                         f"{self._in_flight} action(s) already in flight")
+            return
+
+        if hot:
+            self._calm_streak = 0
+            if desired > shards:
+                yield from self._act(sample, shards, desired, "scale_up",
+                                     self._scale_up(desired))
+            elif self._replica_headroom() > 0:
+                yield from self._act(sample, shards, desired, "replica_add",
+                                     self._add_replicas(sample))
+            else:
+                self._record(sample, shards, desired, "hold",
+                             "hot but all levers exhausted")
+            return
+
+        if calm:
+            self._calm_streak += 1
+            if self._calm_streak < spec.scale_down_windows:
+                self._record(
+                    sample, shards, desired, "hold",
+                    f"calm {self._calm_streak}/{spec.scale_down_windows}")
+                return
+            self._calm_streak = 0
+            if self.elastic_replica_count() > 0:
+                yield from self._act(sample, shards, desired,
+                                     "replica_remove",
+                                     self._remove_replicas())
+            elif shards > spec.min_shards:
+                yield from self._act(sample, shards, shards - 1,
+                                     "scale_down", self._scale_down())
+            elif spec.tier is not None:
+                yield from self._act(sample, shards, desired, "tier_demote",
+                                     self._demote_cold())
+            else:
+                self._record(sample, shards, desired, "hold",
+                             "calm at floor; nothing to shrink")
+            return
+
+        self._calm_streak = 0
+        self._record(sample, shards, desired, "hold", "within band")
+
+    # -- actuation -----------------------------------------------------------
+    def _act(self, sample: SignalSample, shards: int, desired: int,
+             action: str, gen: Generator) -> Generator:
+        t0 = self.sim.now
+        self._in_flight += 1
+        try:
+            with self._obs.tracer.span(
+                    f"autoscale:{action}", cat="autoscale",
+                    component=f"autoscaler:{self.manager.base_id}",
+                    shards=shards, desired=desired) as span:
+                detail = yield from gen
+                span.set(detail=detail)
+        finally:
+            self._in_flight -= 1
+        self._cooldown_until = self.sim.now + self.spec.cooldown
+        self._record(sample, shards, desired, action,
+                     self._reason_for(sample, action),
+                     took=self.sim.now - t0, detail=detail)
+
+    def _reason_for(self, sample: SignalSample, action: str) -> str:
+        if action in ("scale_up", "replica_add"):
+            return (f"offered={sample.offered_rate:.0f}/s "
+                    f"shed={sample.shed} "
+                    f"egress={sample.egress_utilization:.2f}")
+        return (f"calm for {self.spec.scale_down_windows} windows "
+                f"(offered={sample.offered_rate:.0f}/s)")
+
+    def _scale_up(self, desired: int) -> Generator:
+        added = []
+        while self.shards < desired:
+            result = yield from self.manager.add_shard(
+                retry_policy=self.retry_policy)
+            added.append(result["shard"])
+            self._c_scale_ups.inc()
+        return f"added {added} (epoch {self.manager.epoch})"
+
+    def _scale_down(self) -> Generator:
+        victim = self._newest_shard()
+        result = yield from self.manager.remove_shard(
+            victim, retry_policy=self.retry_policy)
+        self._c_scale_downs.inc()
+        return f"removed {result['removed']} (epoch {self.manager.epoch})"
+
+    def _newest_shard(self) -> str:
+        base = self.manager.base_id
+        def ordinal(shard_id: str) -> int:
+            return int(shard_id[len(base) + 2:])
+        return max(self.shard_ids(), key=ordinal)
+
+    # -- replica lever -------------------------------------------------------
+    def _replica_headroom(self) -> int:
+        if self.spec.replicas is None:
+            return 0
+        cap = self.spec.replicas.max_extra * self.shards
+        return cap - self.elastic_replica_count()
+
+    def _add_replicas(self, sample: SignalSample) -> Generator:
+        rspec = self.spec.replicas
+        wiera = self.manager.wiera
+        region = (rspec.region or sample.busiest_region()
+                  or self.manager.spec.placements[0].region)
+        added = []
+        for sid in self.shard_ids():
+            tim = wiera.tim(sid)
+            if len(tim.elastic_replicas) >= rspec.max_extra:
+                continue
+            iid = yield from tim.add_replica(region)
+            added.append(iid)
+            self._c_replica_adds.inc()
+        if added:
+            yield from self._republish()
+        return f"added replicas {added} in {region}"
+
+    def _remove_replicas(self) -> Generator:
+        wiera = self.manager.wiera
+        removed = []
+        for sid in self.shard_ids():
+            tim = wiera.tim(sid)
+            if not tim.elastic_replicas:
+                continue
+            iid = yield from tim.remove_replica()
+            removed.append(iid)
+            self._c_replica_removes.inc()
+        if removed:
+            yield from self._republish()
+        return f"removed replicas {removed}"
+
+    def _republish(self) -> Generator:
+        """Publish a new epoch with the same ring but refreshed instance
+        lists, so clients and guards learn about replica membership."""
+        mgr = self.manager
+        shards_new = {sid: tuple(mgr.wiera.tim(sid).instance_list())
+                      for sid in mgr.map.shards}
+        mgr.publish(mgr.map.ring, shards_new)
+        yield from mgr.install_guards(mgr.map)
+
+    # -- tier lever ----------------------------------------------------------
+    def _demote_cold(self) -> Generator:
+        tspec = self.spec.tier
+        if tspec.price_aware and not self._target_tier_cheaper():
+            return "skipped: target tier not cheaper"
+        wiera = self.manager.wiera
+        demoted = 0
+        for sid in self.shard_ids():
+            tim = wiera.tim(sid)
+            for rec in tim.alive_records():
+                result = yield tim.node.call(
+                    rec.node, "ctl_demote_cold",
+                    {"age": tspec.idle_age, "to_tier": tspec.target_tier,
+                     "bandwidth": None})
+                demoted += len(result["demoted"])
+        if demoted:
+            self._c_tier_demotions.inc(demoted)
+        return f"demoted {demoted} version(s) to {tspec.target_tier}"
+
+    def _target_tier_cheaper(self) -> bool:
+        """Consult the Table 4 price book: is the demotion target actually
+        cheaper per GB-month than the policy's default store tier?"""
+        policy = self.manager.spec.placements[0].local_policy
+        profiles = {t.name: t.profile for t in policy.tiers}
+        source = profiles.get(policy.default_store_tier())
+        target = profiles.get(self.spec.tier.target_tier)
+        if source is None or target is None:
+            return True   # unknown tiers: let the demotion proceed
+        if source not in PRICE_BOOK or target not in PRICE_BOOK:
+            return True
+        return PRICE_BOOK[target].storage < PRICE_BOOK[source].storage
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _record(self, sample: SignalSample, shards: int, desired: int,
+                action: str, reason: str, took: float = 0.0,
+                detail: str = "") -> None:
+        self.decisions.append(AutoscaleDecision(
+            time=self.sim.now, offered_rate=sample.offered_rate,
+            shed=sample.shed, queue_depth=sample.queue_depth,
+            egress_utilization=sample.egress_utilization,
+            shards=shards, desired=desired, action=action, reason=reason,
+            took=took, detail=detail))

@@ -1,0 +1,159 @@
+"""Signal plane for the autoscaler: what the controller watches.
+
+The controller never instruments the data path itself — every signal is
+derived from state other subsystems already maintain:
+
+* **offered / achieved / shed rate** — windowed deltas of the load
+  engine's ``load.*`` counters in the shared metrics registry (every
+  cohort records them; the reader sums across cohorts).
+* **queue depth** — arrivals waiting for a pooled connection, summed
+  across the deployment's cohorts (the leading indicator: queues grow
+  before shed starts).
+* **per-host egress utilization** — bytes clocked through each Tiera
+  host's egress link over the window divided by the link's capacity;
+  the binding resource for large-value read traffic.
+* **demand by region** — per-region offered deltas (from cohort stats,
+  or :class:`~repro.core.workload_monitor.WorkloadMonitor` windows when
+  monitors are attached), used to place elastic replicas where the
+  crowd actually is.
+
+All reads are pull-based and free of simulated time: sampling a window
+costs zero sim-seconds, so an idle autoscaler perturbs nothing but the
+kernel event count of its own timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: counters summed across cohorts for the headline rates
+_LOAD_COUNTERS = ("load.offered", "load.achieved", "load.shed")
+
+
+@dataclass(frozen=True)
+class SignalSample:
+    """One decision window's worth of observed load."""
+
+    time: float
+    interval: float
+    offered_rate: float = 0.0
+    achieved_rate: float = 0.0
+    shed: int = 0                 # arrivals shed during the window
+    queue_depth: int = 0          # arrivals waiting right now
+    egress_utilization: float = 0.0   # worst host, 0..1 (0 if unbounded)
+    demand_by_region: dict[str, float] = field(default_factory=dict)
+
+    def busiest_region(self) -> Optional[str]:
+        demand = self.demand_by_region
+        if not demand:
+            return None
+        return max(sorted(demand), key=lambda r: demand[r])
+
+
+class SignalReader:
+    """Windowed view over the metrics registry, cohorts, and network.
+
+    ``engine_provider`` is a zero-arg callable returning the deployment's
+    :class:`~repro.load.engine.LoadEngine` (or None while no cohorts
+    exist yet — the harness creates the engine lazily, usually *after*
+    the autoscaler starts).  ``hosts_provider`` returns the Tiera hosts
+    whose egress links to watch.  ``monitors`` optionally attaches
+    :class:`~repro.core.workload_monitor.WorkloadMonitor` instances whose
+    last polling round overrides the cohort-derived region demand.
+    """
+
+    def __init__(self, metrics, engine_provider: Optional[Callable] = None,
+                 hosts_provider: Optional[Callable] = None,
+                 monitors: Optional[list] = None):
+        self.metrics = metrics
+        self.engine_provider = engine_provider
+        self.hosts_provider = hosts_provider
+        self.monitors = list(monitors) if monitors else []
+        self._last_totals: dict[str, int] = {}
+        self._last_by_region: dict[str, int] = {}
+        self._last_egress: dict[str, int] = {}
+        self._last_time: Optional[float] = None
+
+    # -- raw totals ---------------------------------------------------------
+    def _counter_totals(self) -> dict[str, int]:
+        totals = dict.fromkeys(_LOAD_COUNTERS, 0)
+        for metric in self.metrics:
+            if metric.kind == "counter" and metric.name in totals:
+                totals[metric.name] += metric.value
+        return totals
+
+    def _offered_by_region(self) -> dict[str, int]:
+        engine = self.engine_provider() if self.engine_provider else None
+        if engine is None:
+            return {}
+        out: dict[str, int] = {}
+        for cohort in engine:
+            region = cohort.spec.region
+            out[region] = out.get(region, 0) + cohort.stats.offered
+        return out
+
+    def _queue_depth(self) -> int:
+        engine = self.engine_provider() if self.engine_provider else None
+        if engine is None:
+            return 0
+        return sum(cohort.queued for cohort in engine)
+
+    def _egress_utilization(self, now: float, interval: float) -> float:
+        hosts = self.hosts_provider() if self.hosts_provider else ()
+        worst = 0.0
+        seen: dict[str, int] = {}
+        for host in hosts:
+            link = host.egress
+            if host.name in seen:
+                continue
+            seen[host.name] = link.bytes_sent
+            if link.rate == float("inf"):
+                continue
+            sent = link.bytes_sent - self._last_egress.get(host.name, 0)
+            worst = max(worst, sent / (link.rate * interval))
+        self._last_egress = seen
+        return worst
+
+    # -- the sampling entry point -------------------------------------------
+    def sample(self, now: float) -> SignalSample:
+        """Observe one window ending at ``now``; deltas are measured
+        against the previous call."""
+        interval = (now - self._last_time
+                    if self._last_time is not None else 0.0)
+        interval = max(interval, 1e-12)
+        totals = self._counter_totals()
+        deltas = {name: totals[name] - self._last_totals.get(name, 0)
+                  for name in totals}
+        self._last_totals = totals
+
+        by_region_now = self._offered_by_region()
+        region_deltas = {
+            region: (count - self._last_by_region.get(region, 0)) / interval
+            for region, count in by_region_now.items()}
+        self._last_by_region = by_region_now
+        if self.monitors:
+            demand: dict[str, float] = {}
+            for monitor in self.monitors:
+                for region, n in monitor.demand_by_region(window=1).items():
+                    demand[region] = demand.get(region, 0.0) + n
+            region_deltas = demand or region_deltas
+
+        utilization = self._egress_utilization(now, interval)
+        if self._last_time is None:
+            # First observation: no window yet, report a quiet sample.
+            self._last_time = now
+            return SignalSample(time=now, interval=0.0,
+                                queue_depth=self._queue_depth(),
+                                egress_utilization=0.0)
+        self._last_time = now
+        return SignalSample(
+            time=now,
+            interval=interval,
+            offered_rate=deltas["load.offered"] / interval,
+            achieved_rate=deltas["load.achieved"] / interval,
+            shed=deltas["load.shed"],
+            queue_depth=self._queue_depth(),
+            egress_utilization=utilization,
+            demand_by_region=region_deltas,
+        )

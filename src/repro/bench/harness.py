@@ -10,8 +10,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Iterable, Optional, Sequence
 
+from repro.autoscale.controller import Autoscaler
+from repro.autoscale.signals import SignalReader
 from repro.core.client import WieraClient
-from repro.core.global_policy import GlobalPolicySpec
+from repro.core.global_policy import AutoscaleSpec, GlobalPolicySpec
 from repro.faults.retry import RetryPolicy
 from repro.faults.schedule import FaultSchedule
 from repro.core.wiera import WieraService
@@ -48,6 +50,11 @@ class Deployment:
     #: open-loop cohorts, created lazily by add_cohort (None = unused,
     #: and the deployment is bit-identical to pre-load-engine builds)
     load: Optional[LoadEngine] = None
+    #: default autoscale spec for start_sharded_instance (None = no
+    #: controller, bit-identical to pre-autoscale builds)
+    autoscale: Optional[AutoscaleSpec] = None
+    #: running controllers by namespace (base wiera id)
+    autoscalers: dict = field(default_factory=dict)
 
     # -- driving -------------------------------------------------------------
     def drive(self, gen: Generator, name: str = "main"):
@@ -60,7 +67,9 @@ class Deployment:
                           name=f"start:{wiera_id}")
 
     def start_sharded_instance(self, wiera_id: str,
-                               spec: GlobalPolicySpec) -> ShardHandle:
+                               spec: GlobalPolicySpec,
+                               autoscale: Optional[AutoscaleSpec] = None,
+                               ) -> ShardHandle:
         """Start one namespace across N shards (repro.shard).
 
         The shard count comes from ``spec.sharding`` when set, else the
@@ -68,20 +77,51 @@ class Deployment:
         shard this delegates to :meth:`start_wiera_instance` — no
         manager, no guards, no router — so ``shards=1`` runs are
         bit-identical to pre-sharding behavior.
+
+        An autoscale spec (the ``autoscale`` argument, else
+        ``spec.autoscale``, else the deployment default) attaches an
+        :class:`~repro.autoscale.controller.Autoscaler` to the
+        namespace.  Autoscaled namespaces always take the managed
+        ShardManager path — even at one shard — because the shard lever
+        needs a manager to actuate; with no spec anywhere (the default)
+        nothing changes.
         """
         sharding = spec.sharding
         n = sharding.shards if sharding is not None else self.shards
         vnodes = sharding.vnodes if sharding is not None else DEFAULT_VNODES
-        if n <= 1:
+        aspec = autoscale or spec.autoscale or self.autoscale
+        if n <= 1 and aspec is None:
             instances = self.start_wiera_instance(wiera_id, spec)
             return ShardHandle(base_id=wiera_id, instances=instances)
         shard_map = self.drive(
             self.wiera.start_sharded_instances(wiera_id, spec, n,
                                                vnodes=vnodes),
             name=f"start:{wiera_id}")
+        if aspec is not None:
+            self._attach_autoscaler(wiera_id, aspec)
         return ShardHandle(base_id=wiera_id,
                            instances=shard_map.all_instances(),
                            map=shard_map)
+
+    def _attach_autoscaler(self, base_id: str,
+                           aspec: AutoscaleSpec) -> Autoscaler:
+        """Build, start, and register the controller for one namespace."""
+        manager = self.wiera.shard_manager(base_id)
+
+        def hosts():
+            seen = []
+            for sid in sorted(manager.map.shards):
+                for rec in self.wiera.tim(sid).alive_records():
+                    seen.append(rec.instance.host)
+            return seen
+
+        reader = SignalReader(self.obs.metrics,
+                              engine_provider=lambda: self.load,
+                              hosts_provider=hosts)
+        scaler = Autoscaler(manager, aspec, reader)
+        scaler.start()
+        self.autoscalers[base_id] = scaler
+        return scaler
 
     # -- construction helpers ----------------------------------------------------
     def add_client(self, region: str, provider: str = "aws",
@@ -193,7 +233,8 @@ def build_deployment(regions: Sequence[str],
                      with_tracing: bool = False,
                      shards: int = 1,
                      chunk_bytes: float = 0.0,
-                     servers_per_region: int = 1) -> Deployment:
+                     servers_per_region: int = 1,
+                     autoscale: Optional[AutoscaleSpec] = None) -> Deployment:
     """Stand up Wiera + one Tiera server per (region, provider).
 
     ``providers`` maps region -> iterable of providers (default: aws only).
@@ -213,6 +254,9 @@ def build_deployment(regions: Sequence[str],
     spread across real capacity — the TSM picks the least-loaded server
     per placement.  The default of 1 keeps host names and registration
     order identical to older builds.
+    ``autoscale`` sets the default :class:`~repro.core.global_policy.
+    AutoscaleSpec` attached by :meth:`Deployment.start_sharded_instance`;
+    None (the default) builds no controller and keeps runs bit-identical.
     """
     sim = Simulator()
     obs = get_obs(sim)
@@ -224,7 +268,8 @@ def build_deployment(regions: Sequence[str],
     wiera = WieraService(sim, network, region=wiera_region,
                          heartbeat_interval=heartbeat_interval)
     dep = Deployment(sim=sim, network=network, rng=rng, wiera=wiera,
-                     ledger=ledger, obs=obs, shards=shards)
+                     ledger=ledger, obs=obs, shards=shards,
+                     autoscale=autoscale)
     if servers_per_region < 1:
         raise ValueError(f"servers_per_region must be >= 1: "
                          f"{servers_per_region}")

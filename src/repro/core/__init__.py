@@ -12,6 +12,7 @@ Public surface:
 from repro.core.wiera import WieraError, WieraService
 from repro.core.client import NoInstanceAvailableError, WieraClient
 from repro.core.global_policy import (
+    AutoscaleSpec,
     ChangePrimarySpec,
     ColdDataSpec,
     DynamicConsistencySpec,
@@ -19,7 +20,9 @@ from repro.core.global_policy import (
     GlobalPolicySpec,
     LoadBalanceSpec,
     RegionPlacement,
+    ReplicaScaleSpec,
     ShardSpec,
+    TierScaleSpec,
 )
 from repro.core.loadbalance import LoadBalancer
 from repro.core.tim import TieraInstanceManager, WieraInstanceError
@@ -50,6 +53,9 @@ __all__ = [
     "ColdDataSpec",
     "FailureSpec",
     "ShardSpec",
+    "AutoscaleSpec",
+    "ReplicaScaleSpec",
+    "TierScaleSpec",
     "TieraInstanceManager",
     "WieraInstanceError",
     "TieraServerManager",

@@ -107,6 +107,105 @@ class FailureSpec:
 
 
 @dataclass(frozen=True)
+class ReplicaScaleSpec:
+    """Autoscaler replica lever: extra replicas per shard once the shard
+    lever is exhausted (demand still above band at ``max_shards``)."""
+
+    #: extra instances per shard beyond the policy's placements
+    max_extra: int = 1
+    #: region to place extras in; None = the busiest region by observed
+    #: demand (falling back to the first placement's region)
+    region: Optional[str] = None
+
+    def __post_init__(self):
+        if self.max_extra < 1:
+            raise ValueError(f"max_extra must be >= 1: {self.max_extra}")
+
+
+@dataclass(frozen=True)
+class TierScaleSpec:
+    """Autoscaler tier lever: demote idle data to a cheaper tier during
+    sustained calm (SkyStore-style cost awareness).  Promotion back to
+    the fast tier rides the policy's existing get-triggered rules."""
+
+    #: demote versions idle at least this many seconds
+    idle_age: float
+    #: policy-local tier name to demote into (e.g. "tier2")
+    target_tier: str
+    #: consult the Table 4 price book and skip demotion unless the
+    #: target tier is actually cheaper per GB-month
+    price_aware: bool = True
+
+    def __post_init__(self):
+        if self.idle_age < 0:
+            raise ValueError(f"idle_age must be >= 0: {self.idle_age}")
+
+
+@dataclass(frozen=True)
+class AutoscaleSpec:
+    """Close the loop: watch load signals, actuate shard / replica /
+    tier levers (see :mod:`repro.autoscale`).
+
+    The controller compares the offered rate against the deployment's
+    current capacity (``shards x target_per_shard``).  Above the
+    ``high_water`` fraction of capacity (or on any shed load) it grows
+    the shard count toward demand; below ``low_water`` of the capacity
+    *after* a removal, sustained for ``scale_down_windows`` consecutive
+    decision windows, it shrinks by one shard.  ``cooldown`` seconds
+    must pass after an action before the next, and at most
+    ``max_actions_in_flight`` rebalances ever run at once — the
+    controller never races its own migrations.
+
+    ``autoscale=None`` on the global policy (the default) constructs no
+    controller at all: runs are bit-identical to pre-autoscale builds.
+    """
+
+    #: ops/sec one shard is sized to absorb (calibrate from the
+    #: scale-out bench: achieved_per_sim_sec at 1 shard)
+    target_per_shard: float
+    decision_interval: float = 5.0
+    high_water: float = 0.85
+    low_water: float = 0.45
+    min_shards: int = 1
+    max_shards: int = 8
+    #: quiet period after an action completes before the next decision acts
+    cooldown: float = 10.0
+    #: consecutive calm windows required before scaling down
+    scale_down_windows: int = 3
+    #: hard cap on concurrently running scale actions (rebalances)
+    max_actions_in_flight: int = 1
+    #: shed arrivals tolerated per window before a forced scale-up
+    shed_tolerance: int = 0
+    replicas: Optional[ReplicaScaleSpec] = None
+    tier: Optional[TierScaleSpec] = None
+
+    def __post_init__(self):
+        if self.target_per_shard <= 0:
+            raise ValueError(
+                f"target_per_shard must be positive: {self.target_per_shard}")
+        if self.decision_interval <= 0:
+            raise ValueError(f"decision_interval must be positive: "
+                             f"{self.decision_interval}")
+        if not 0.0 < self.low_water <= self.high_water:
+            raise ValueError(
+                f"need 0 < low_water <= high_water, got "
+                f"{self.low_water}/{self.high_water}")
+        if self.min_shards < 1:
+            raise ValueError(f"min_shards must be >= 1: {self.min_shards}")
+        if self.max_shards < self.min_shards:
+            raise ValueError(f"max_shards {self.max_shards} < min_shards "
+                             f"{self.min_shards}")
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0: {self.cooldown}")
+        if self.scale_down_windows < 1:
+            raise ValueError(f"scale_down_windows must be >= 1: "
+                             f"{self.scale_down_windows}")
+        if self.max_actions_in_flight < 1:
+            raise ValueError(f"max_actions_in_flight must be >= 1: "
+                             f"{self.max_actions_in_flight}")
+
+
+@dataclass(frozen=True)
 class GlobalPolicySpec:
     """A complete Wiera instance definition."""
 
@@ -126,6 +225,9 @@ class GlobalPolicySpec:
     batch_bytes: float = 0.0
     #: keyspace partitioning; None/shards=1 -> one classic instance
     sharding: Optional[ShardSpec] = None
+    #: closed-loop elasticity (repro.autoscale); None (the default) builds
+    #: no controller — runs are bit-identical to pre-autoscale behavior
+    autoscale: Optional[AutoscaleSpec] = None
     dynamic: Optional[DynamicConsistencySpec] = None
     change_primary: Optional[ChangePrimarySpec] = None
     cold: Optional[ColdDataSpec] = None

@@ -73,6 +73,9 @@ class TieraInstanceManager:
         self.protocol = None
         self.monitors: list = []
         self.switch_log: list[tuple[float, str, str, float]] = []
+        #: instance ids added by add_replica (the only ones remove_replica
+        #: will retire — spec placements are never scaled away)
+        self.elastic_replicas: list[str] = []
         self.shared_cold_tier_name = "shared_cold"
         self.running = False
 
@@ -339,6 +342,72 @@ class TieraInstanceManager:
                 key, got["data"], version=got["version"],
                 origin=got.get("origin", donor.instance_id),
                 last_modified=got.get("last_modified"))
+
+    # ------------------------------------------------------------------
+    # elastic replicas (repro.autoscale replica lever)
+    # ------------------------------------------------------------------
+    def add_replica(self, region: str, provider: str = "aws") -> Generator:
+        """Spawn one extra instance in ``region``, wire it into the peer
+        table and protocol, and resync it from a live peer.  Reuses the
+        §4.4 recovery machinery, but driven by load instead of failure."""
+        template = next((p for p in self.spec.placements
+                         if p.region == region), self.spec.placements[0])
+        server = self.wiera.tsm.pick_server(region, provider,
+                                            exclude_down=True,
+                                            fallback_any=True)
+        if server is None:
+            raise WieraInstanceError(
+                f"no live Tiera server to host a replica in {region!r}")
+        n = len(self.elastic_replicas)
+        instance_id = f"{self.wiera_instance_id}-{region}-e{n}"
+        while instance_id in self.instances:
+            n += 1
+            instance_id = f"{self.wiera_instance_id}-{region}-e{n}"
+        result = yield self.node.call(server.node, "spawn_instance", {
+            "instance_id": instance_id,
+            "policy": template.local_policy,
+        })
+        record = InstanceRecord(
+            instance_id=instance_id, region=server.region,
+            provider=server.provider, server_id=server.server_id,
+            node=result["node"], instance=result["instance"],
+            placement=template)
+        record.ref = InstanceRef(instance_id, server.region, record.node)
+        self.instances[instance_id] = record
+        self._wire(record)
+        self.elastic_replicas.append(instance_id)
+        yield from self._propagate_peers()
+        yield self.node.call(record.node, "ctl_set_protocol",
+                             {"protocol": self.protocol})
+        yield from self._resync(record)
+        return instance_id
+
+    def remove_replica(self, instance_id: Optional[str] = None) -> Generator:
+        """Retire one elastic replica (the most recently added when
+        ``instance_id`` is None).  Spec placements cannot be removed."""
+        if instance_id is None:
+            if not self.elastic_replicas:
+                raise WieraInstanceError(
+                    f"{self.wiera_instance_id}: no elastic replicas to "
+                    "remove")
+            instance_id = self.elastic_replicas[-1]
+        if instance_id not in self.elastic_replicas:
+            raise WieraInstanceError(
+                f"{instance_id!r} is not an elastic replica")
+        record = self.instances.pop(instance_id)
+        self.elastic_replicas.remove(instance_id)
+        # Drop it from every peer table first, so no new replication is
+        # queued toward it, then detach its protocol (stopping its
+        # replication queues/repairers) before the server tears it down.
+        yield from self._propagate_peers()
+        if not record.down:
+            yield self.node.call(record.node, "ctl_set_protocol",
+                                 {"protocol": LocalOnlyProtocol()})
+            server = self.wiera.tsm.servers.get(record.server_id)
+            if server is not None and not server.host.down:
+                yield self.node.call(server.node, "stop_instance",
+                                     {"instance_id": instance_id})
+        return instance_id
 
     # ------------------------------------------------------------------
     # centralized cold data

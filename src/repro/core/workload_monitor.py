@@ -112,8 +112,18 @@ class WorkloadMonitor:
 
     # -- aggregates --------------------------------------------------------------
     def demand_by_region(self, window: Optional[int] = None) -> dict[str, int]:
-        """Summed request deltas per client-facing region."""
-        rounds = list(self.snapshots)[-window:] if window else self.snapshots
+        """Summed request deltas per client-facing region.
+
+        ``window`` counts polling rounds from the most recent backwards;
+        ``None`` means the whole retained history and ``0`` means an
+        empty window (no rounds), never the full history.
+        """
+        if window is None:
+            rounds = self.snapshots
+        elif window > 0:
+            rounds = list(self.snapshots)[-window:]
+        else:
+            rounds = []
         out: dict[str, int] = {}
         for snap in rounds:
             for region, n in snap.requests_by_region.items():

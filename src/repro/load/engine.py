@@ -77,6 +77,7 @@ class LoadEngine:
         achieved = sum(c["achieved"] for c in cohorts)
         errors = sum(c["errors"] for c in cohorts)
         shed = sum(c["shed"] for c in cohorts)
+        discarded = sum(c["discarded"] for c in cohorts)
         errors_by_type: dict[str, int] = {}
         for c in cohorts:
             for kind, n in c["errors_by_type"].items():
@@ -92,6 +93,7 @@ class LoadEngine:
             "errors": errors,
             "errors_by_type": dict(sorted(errors_by_type.items())),
             "shed": shed,
+            "discarded": discarded,
             "elapsed": window,
             "offered_rate": offered / window,
             "achieved_rate": achieved / window,

@@ -359,6 +359,45 @@ class TestClientCohort:
         assert cohort.stats.offered == offered     # no arrivals after stop
         assert cohort.elapsed() == pytest.approx(5.0)
 
+    def test_stop_counts_discarded_queue_entries(self):
+        """Regression: queued arrivals thrown away by stop() used to
+        vanish from the ledger, so offered != dispatched + shed at
+        scenario end."""
+        sim = Simulator()
+        cohort = make_cohort(sim, CohortSpec(
+            name="disc", region="r", users=1000, rate_per_user=0.1,
+            workload=WORKLOAD, max_in_flight=2, queue_limit=50),
+            service_time=5.0)   # slow store: the queue fills, nothing drains
+        cohort.start()
+        sim.run(until=4.0)
+        queued = cohort.queued
+        assert queued > 0, "setup failed to build a backlog"
+        assert cohort.stats.reconciles(queued=queued)
+        cohort.stop()
+        stats = cohort.stats
+        assert stats.discarded == queued
+        assert cohort.queued == 0
+        # The invariant closes with no queue remaining.
+        assert stats.offered == stats.dispatched + stats.shed + \
+            stats.discarded
+        report = cohort.report()
+        assert report["discarded"] == stats.discarded
+
+    def test_reconciliation_invariant_all_regimes(self):
+        """offered == dispatched + shed + discarded (+ queued mid-run)
+        holds whether the store is fast, saturated, or failing."""
+        for kw in ({}, {"service_time": 0.5}, {"fail_every": 3}):
+            sim = Simulator()
+            cohort = make_cohort(sim, CohortSpec(
+                name="inv", region="r", users=1000, rate_per_user=0.1,
+                workload=WORKLOAD, max_in_flight=4, queue_limit=10), **kw)
+            cohort.start()
+            sim.run(until=15.0)
+            assert cohort.stats.reconciles(queued=cohort.queued), kw
+            cohort.stop()
+            sim.run(until=30.0)   # drain in-flight stragglers
+            assert cohort.stats.reconciles(), kw
+
     def test_spec_validation(self):
         with pytest.raises(ValueError):
             CohortSpec(name="x", region="r", max_in_flight=0)

@@ -64,6 +64,29 @@ class TestWorkloadMonitor:
         dep.drive(monitor.poll_once())
         assert monitor.read_fraction() == pytest.approx(0.5)
 
+    def test_window_zero_is_empty_not_full_history(self):
+        """Regression: window=0 used to be falsy and silently returned
+        the *entire* snapshot history (the autoscaler's decision window
+        depends on window semantics being exact)."""
+        dep, instances = deploy()
+        monitor = WorkloadMonitor(dep.tim("pl"), poll_interval=5.0)
+        hammer(dep, instances, EU_WEST, 10)
+        dep.drive(monitor.poll_once())
+        assert monitor.demand_by_region(window=None)[EU_WEST] == 20
+        assert monitor.demand_by_region(window=0) == {}
+
+    def test_window_counts_recent_rounds_only(self):
+        dep, instances = deploy()
+        monitor = WorkloadMonitor(dep.tim("pl"), poll_interval=5.0)
+        hammer(dep, instances, EU_WEST, 10)
+        dep.drive(monitor.poll_once())       # round 1: 20 requests
+        hammer(dep, instances, EU_WEST, 5, key_prefix="b")
+        dep.drive(monitor.poll_once())       # round 2: 10 requests
+        assert monitor.demand_by_region(window=1)[EU_WEST] == 10
+        assert monitor.demand_by_region(window=2)[EU_WEST] == 30
+        # A window larger than history covers everything retained.
+        assert monitor.demand_by_region(window=99)[EU_WEST] == 30
+
     def test_background_polling(self):
         dep, instances = deploy()
         monitor = WorkloadMonitor(dep.tim("pl"), poll_interval=2.0)
