@@ -36,6 +36,7 @@ from repro.core import (
     DynamicConsistencySpec,
     FailureSpec,
     GlobalPolicySpec,
+    RedundancySpec,
     RegionPlacement,
     ReplicaScaleSpec,
     ShardSpec,
@@ -69,6 +70,7 @@ __all__ = [
     "ColdDataSpec",
     "FailureSpec",
     "ShardSpec",
+    "RedundancySpec",
     "AutoscaleSpec",
     "ReplicaScaleSpec",
     "TierScaleSpec",

@@ -19,6 +19,7 @@ from repro.core.global_policy import (
     FailureSpec,
     GlobalPolicySpec,
     LoadBalanceSpec,
+    RedundancySpec,
     RegionPlacement,
     ReplicaScaleSpec,
     ShardSpec,
@@ -53,6 +54,7 @@ __all__ = [
     "ColdDataSpec",
     "FailureSpec",
     "ShardSpec",
+    "RedundancySpec",
     "AutoscaleSpec",
     "ReplicaScaleSpec",
     "TierScaleSpec",

@@ -206,6 +206,55 @@ class AutoscaleSpec:
 
 
 @dataclass(frozen=True)
+class RedundancySpec:
+    """Erasure-coded redundancy (repro.ec): store every object as
+    ``k + m`` fragments on distinct instances, any ``k`` of which
+    reconstruct it.  ``k=1`` degenerates to full replication with
+    ``m + 1`` copies, so one knob covers both redundancy shapes.
+
+    ``redundancy=None`` on the global policy (the default) constructs
+    nothing — runs are bit-identical to pre-EC builds.
+    """
+
+    #: data fragments (1 = full replication)
+    k: int = 1
+    #: parity fragments = simultaneous fragment losses survived
+    m: int = 2
+    #: reject candidate schemes surviving fewer than this many losses
+    durability_floor: int = 1
+    #: optimizer read-latency budget (seconds to gather k fragments)
+    read_budget: float = 0.5
+    #: optimizer write-latency budget (seconds to land the ack floor)
+    write_budget: float = 1.0
+    #: fragment-repair loop period; None disables background repair
+    repair_interval: Optional[float] = None
+    #: (key-prefix, k, m) scheme overrides installed at launch
+    overrides: tuple[tuple[str, int, int], ...] = ()
+    #: (k, m) candidates the optimizer prices against each other
+    candidates: tuple[tuple[int, int], ...] = (
+        (1, 1), (1, 2), (2, 1), (2, 2), (4, 2))
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1: {self.k}")
+        if self.m < 0:
+            raise ValueError(f"m must be >= 0: {self.m}")
+        if self.k + self.m > 255:
+            raise ValueError(
+                f"GF(256) caps k + m at 255: {self.k + self.m}")
+        if self.durability_floor < 0:
+            raise ValueError(
+                f"durability_floor must be >= 0: {self.durability_floor}")
+        for prefix, k, m in self.overrides:
+            if k < 1 or m < 0 or k + m > 255:
+                raise ValueError(
+                    f"override {prefix!r}: invalid scheme k={k} m={m}")
+        if self.repair_interval is not None and self.repair_interval <= 0:
+            raise ValueError(
+                f"repair_interval must be positive: {self.repair_interval}")
+
+
+@dataclass(frozen=True)
 class GlobalPolicySpec:
     """A complete Wiera instance definition."""
 
@@ -233,6 +282,9 @@ class GlobalPolicySpec:
     cold: Optional[ColdDataSpec] = None
     load_balance: Optional[LoadBalanceSpec] = None
     failure: Optional[FailureSpec] = None
+    #: erasure-coded redundancy plane (repro.ec); None (the default)
+    #: constructs nothing — runs are bit-identical to pre-EC builds
+    redundancy: Optional[RedundancySpec] = None
     params: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -251,6 +303,25 @@ class GlobalPolicySpec:
         if self.batch_bytes < 0:
             raise ValueError(
                 f"batch_bytes must be >= 0: {self.batch_bytes}")
+        if self.redundancy is not None:
+            r = self.redundancy
+            if self.consistency == "primary_backup":
+                raise ValueError(
+                    f"policy {self.name!r}: redundancy is incompatible with "
+                    "primary_backup (fragments have no single write path)")
+            if self.dynamic is not None or self.change_primary is not None:
+                raise ValueError(
+                    f"policy {self.name!r}: redundancy cannot be combined "
+                    "with dynamic consistency or change_primary")
+            if self.sharding is not None and self.sharding.shards > 1:
+                raise ValueError(
+                    f"policy {self.name!r}: redundancy requires an "
+                    "unsharded namespace (fragment keys would hash away "
+                    "from their manifests)")
+            if len(self.placements) < r.k + r.m:
+                raise ValueError(
+                    f"policy {self.name!r}: EC({r.k},{r.m}) needs "
+                    f"{r.k + r.m} placements, found {len(self.placements)}")
 
     def primary_placement(self) -> Optional[RegionPlacement]:
         for placement in self.placements:

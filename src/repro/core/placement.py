@@ -42,10 +42,16 @@ class DataPlacementAdvisor:
     """Derives placement recommendations from live monitors."""
 
     def __init__(self, tim, workload_monitor: WorkloadMonitor,
-                 latency_goal: float = 0.8):
+                 latency_goal: float = 0.8, cost_weight: float = 0.0):
         self.tim = tim
         self.monitor = workload_monitor
         self.latency_goal = latency_goal
+        #: dollars-to-seconds exchange rate for cost-aware placement: each
+        #: candidate region's score gains ``cost_weight x`` its price-book
+        #: monthly cost (storage at current usage + inter-region egress
+        #: for remote demand).  0 (the default) skips the price book
+        #: entirely — advice is bit-identical to latency-only builds.
+        self.cost_weight = cost_weight
 
     # -- helper geometry -------------------------------------------------------
     def _region_host(self, region: str):
@@ -65,6 +71,26 @@ class DataPlacementAdvisor:
         return sorted({rec.region for rec in self.tim.instances.values()
                        if not rec.down})
 
+    def region_monthly_cost(self, region: str,
+                            demand: dict[str, int]) -> float:
+        """Price-book cost of serving from ``region``: storage at the
+        current tier fill plus inter-region egress for remote demand."""
+        from repro.storage.cost import network_cost
+        from repro.util.units import GB
+        storage = 0.0
+        for record in self.tim.instances.values():
+            if record.region != region or record.down:
+                continue
+            for backend in record.instance.tiers.values():
+                storage += (backend.used_bytes / GB
+                            * backend.profile.storage_price)
+        avg_bytes = (self.monitor.object_size.mean
+                     if self.monitor.object_size.count else 0.0)
+        remote_ops = sum(weight for r, weight in demand.items()
+                         if r != region)
+        return storage + network_cost(remote_ops * avg_bytes,
+                                      "inter_region")
+
     # -- recommendations -----------------------------------------------------
     def weighted_put_latency(self, primary_region: str,
                              demand: dict[str, int]) -> float:
@@ -83,11 +109,15 @@ class DataPlacementAdvisor:
         regions = self._instance_regions()
         if not regions:
             return None, 0.0
-        best, best_cost = None, float("inf")
+        best, best_cost, best_score = None, float("inf"), float("inf")
         for region in regions:
             cost = self.weighted_put_latency(region, demand)
-            if cost < best_cost:
-                best, best_cost = region, cost
+            score = cost
+            if self.cost_weight:
+                score += self.cost_weight * self.region_monthly_cost(
+                    region, demand)
+            if score < best_score:
+                best, best_cost, best_score = region, cost, score
         return best, best_cost
 
     def replica_set(self, k: int) -> list[str]:
@@ -106,6 +136,9 @@ class DataPlacementAdvisor:
                 nearest = min((self._rtt(region, r) if region != r else 0.0)
                               for r in replicas)
                 acc += weight * nearest
+            if self.cost_weight:
+                acc += self.cost_weight * self.region_monthly_cost(extra,
+                                                                   demand)
             return acc
 
         while len(chosen) < k:

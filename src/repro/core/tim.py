@@ -188,6 +188,13 @@ class TieraInstanceManager:
 
     def _build_protocol(self, name: str):
         spec = self.spec
+        if spec.redundancy is not None:
+            # The redundancy plane subsumes the consistency knob: writes
+            # are synchronous fragment fan-outs, reads gather nearest-k.
+            from repro.ec.protocol import ECProtocol
+            if isinstance(self.protocol, ECProtocol):
+                return self.protocol
+            return ECProtocol(spec.redundancy)
         if name == "multi_primaries":
             return MultiPrimariesProtocol(batch_bytes=spec.batch_bytes)
         if name == "primary_backup":

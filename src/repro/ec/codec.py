@@ -1,0 +1,191 @@
+"""Systematic Reed-Solomon-style erasure codec over GF(256).
+
+``Codec.encode(data, k, n)`` splits ``data`` into ``k`` equal data shards
+(zero-padded) and appends ``n - k`` parity shards; ``Codec.decode`` rebuilds
+the original bytes from *any* ``k`` of the ``n`` fragments.  The generator
+matrix is ``[I_k ; C]`` with ``C`` an (n-k) x k Cauchy matrix — every
+square submatrix of a Cauchy matrix is nonsingular, so every k-subset of
+rows of ``[I ; C]`` is invertible and the code is MDS: it tolerates the
+loss of any ``n - k`` fragments.
+
+Pure python, zero dependencies, and deterministic: the same
+``(data, k, n)`` always produces byte-identical fragments, and decoding
+uses the ``k`` smallest available fragment indices regardless of the order
+fragments arrived in.  The inner loops ride ``bytes.translate`` (constant
+GF multiplication as a 256-byte table) and big-int XOR, so a 1 MiB encode
+is milliseconds, not seconds.
+
+Replication is the degenerate code ``k = 1``: every fragment is a scalar
+multiple of the whole payload and any single fragment decodes it — which
+is how the redundancy plane expresses "3x replication" as EC(1, 3).
+"""
+
+from __future__ import annotations
+
+#: GF(2^8) modulo the AES polynomial x^8 + x^4 + x^3 + x^2 + 1.
+_PRIMITIVE = 0x11D
+
+_EXP = [0] * 512
+_LOG = [0] * 256
+_x = 1
+for _i in range(255):
+    _EXP[_i] = _x
+    _LOG[_x] = _i
+    _x <<= 1
+    if _x & 0x100:
+        _x ^= _PRIMITIVE
+for _i in range(255, 512):
+    _EXP[_i] = _EXP[_i - 255]
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("no inverse of 0 in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+#: constant-multiplier translate tables, built on demand and cached
+_MUL_TABLES: dict[int, bytes] = {}
+
+
+def _mul_table(c: int) -> bytes:
+    table = _MUL_TABLES.get(c)
+    if table is None:
+        table = bytes(gf_mul(c, b) for b in range(256))
+        _MUL_TABLES[c] = table
+    return table
+
+
+def _scale(buf: bytes, c: int) -> bytes:
+    """buf * c, element-wise over GF(256)."""
+    if c == 0:
+        return bytes(len(buf))
+    if c == 1:
+        return buf
+    return buf.translate(_mul_table(c))
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    """a ^ b element-wise (addition in GF(2^8))."""
+    n = len(a)
+    return (int.from_bytes(a, "little")
+            ^ int.from_bytes(b, "little")).to_bytes(n, "little")
+
+
+def parity_matrix(k: int, m: int) -> list[list[int]]:
+    """The m x k Cauchy block: C[i][j] = 1 / (x_i + y_j) with x_i = i,
+    y_j = m + j.  The two index sets are disjoint, so x_i ^ y_j != 0."""
+    return [[gf_inv(i ^ (m + j)) for j in range(k)] for i in range(m)]
+
+
+def _invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Invert a k x k matrix over GF(256) by Gauss-Jordan elimination."""
+    k = len(matrix)
+    aug = [list(row) + [1 if i == j else 0 for j in range(k)]
+           for i, row in enumerate(matrix)]
+    for col in range(k):
+        pivot = next((r for r in range(col, k) if aug[r][col] != 0), None)
+        if pivot is None:
+            raise ValueError("singular decode matrix (duplicate fragments?)")
+        aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(v, inv) for v in aug[col]]
+        for r in range(k):
+            if r == col or aug[r][col] == 0:
+                continue
+            factor = aug[r][col]
+            aug[r] = [v ^ gf_mul(factor, p)
+                      for v, p in zip(aug[r], aug[col])]
+    return [row[k:] for row in aug]
+
+
+def _combine(rows: list[tuple[int, bytes]], length: int) -> bytes:
+    """sum(coeff * frag) over GF(256) for (coeff, frag) pairs."""
+    acc = bytes(length)
+    for coeff, frag in rows:
+        if coeff == 0:
+            continue
+        acc = _xor(acc, _scale(frag, coeff))
+    return acc
+
+
+def _validate(k: int, n: int) -> None:
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k} n={n}")
+    if n > 255:
+        raise ValueError(f"GF(256) supports at most 255 fragments, got {n}")
+
+
+class Codec:
+    """Stateless encode/decode entry points (all methods are static)."""
+
+    @staticmethod
+    def fragment_length(size: int, k: int) -> int:
+        """Bytes per fragment for a ``size``-byte payload split ``k`` ways."""
+        return (size + k - 1) // k
+
+    @staticmethod
+    def encode(data: bytes, k: int, n: int) -> list[bytes]:
+        """Split ``data`` into ``n`` fragments, any ``k`` of which decode it.
+
+        Fragments ``0..k-1`` are the (zero-padded) data shards; fragments
+        ``k..n-1`` are Cauchy parity.  All fragments have equal length
+        ``ceil(len(data) / k)``.
+        """
+        _validate(k, n)
+        m = n - k
+        length = Codec.fragment_length(len(data), k)
+        padded = bytes(data).ljust(k * length, b"\x00")
+        shards = [padded[i * length:(i + 1) * length] for i in range(k)]
+        if m == 0:
+            return shards
+        cauchy = parity_matrix(k, m)
+        parity = [_combine(list(zip(cauchy[i], shards)), length)
+                  for i in range(m)]
+        return shards + parity
+
+    @staticmethod
+    def decode(fragments: dict[int, bytes], k: int, n: int,
+               size: int) -> bytes:
+        """Rebuild the original ``size`` bytes from any >= k fragments.
+
+        ``fragments`` maps fragment index -> fragment bytes.  Exactly the
+        ``k`` smallest available indices are used, so the result does not
+        depend on arrival order or on which extra fragments are present.
+        """
+        _validate(k, n)
+        present = sorted(i for i in fragments if 0 <= i < n)
+        if len(present) < k:
+            raise ValueError(
+                f"need {k} fragments to decode, have {len(present)}")
+        pick = present[:k]
+        length = Codec.fragment_length(size, k)
+        for i in pick:
+            if len(fragments[i]) != length:
+                raise ValueError(
+                    f"fragment {i} is {len(fragments[i])} bytes, "
+                    f"expected {length}")
+        if pick == list(range(k)):
+            return b"".join(fragments[i] for i in pick)[:size]
+        m = n - k
+        cauchy = parity_matrix(k, m)
+        rows = [([1 if j == i else 0 for j in range(k)] if i < k
+                 else cauchy[i - k]) for i in pick]
+        inverse = _invert(rows)
+        shards = [_combine([(inverse[j][c], fragments[pick[c]])
+                            for c in range(k)], length)
+                  for j in range(k)]
+        return b"".join(shards)[:size]
+
+    @staticmethod
+    def rebuild(fragments: dict[int, bytes], k: int, n: int, size: int,
+                missing: int) -> bytes:
+        """Reconstruct one lost fragment from any ``k`` survivors."""
+        data = Codec.decode(fragments, k, n, size)
+        return Codec.encode(data, k, n)[missing]

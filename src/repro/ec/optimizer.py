@@ -1,0 +1,188 @@
+"""Per-object redundancy choice: replication vs EC(k, m), and where.
+
+The optimizer extends the paper's §5.3 cost arithmetic from "which tier"
+to "which redundancy shape": for a given object size and access rate it
+prices every candidate (k, m) scheme from the Table 4 price book —
+storage byte-months for ``n/k`` expansion, request charges for ``n``
+fragment puts and ``k`` fragment gets, inter-region egress for the
+fragments that live away from the reader — and picks the cheapest scheme
+that still clears a durability floor (fragments the object can lose) and
+the read/write latency budgets implied by the RTT matrix.
+
+It is deliberately pure: no simulator types, just sites, an RTT callable
+and arithmetic, so it is equally usable offline (the frontier benchmark)
+and online (fed by the workload monitor via :meth:`plan_for_monitor`).
+
+Replication appears as the degenerate scheme ``k = 1`` — EC(1, 2) *is*
+3x replication — so "replicate or encode" and "which (k, m)" collapse
+into one argmin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ec.codec import Codec
+from repro.storage.cost import (monthly_storage_cost, network_cost,
+                                request_cost)
+
+
+@dataclass(frozen=True)
+class SchemeEstimate:
+    """Priced-out candidate: one (k, m) scheme at concrete sites."""
+
+    k: int
+    m: int
+    sites: tuple[str, ...]          # chosen fragment sites, nearest-first
+    storage_dollars: float          # $/month for n fragments
+    request_dollars: float          # $/month for fragment puts + gets
+    egress_dollars: float           # $/month moving remote fragments
+    read_latency: float             # time to gather the k nearest fragments
+    write_latency: float            # time to land the ack floor
+    durability: int                 # fragment losses survived (= m)
+
+    @property
+    def n(self) -> int:
+        return self.k + self.m
+
+    @property
+    def total_dollars(self) -> float:
+        return (self.storage_dollars + self.request_dollars
+                + self.egress_dollars)
+
+    @property
+    def overhead(self) -> float:
+        """Stored-bytes expansion factor (n / k)."""
+        return self.n / self.k
+
+
+@dataclass(frozen=True)
+class RedundancyPlan:
+    """The optimizer's answer for one object or key-class."""
+
+    chosen: SchemeEstimate
+    rejected: tuple[SchemeEstimate, ...] = field(default=())
+
+    @property
+    def is_replication(self) -> bool:
+        return self.chosen.k == 1
+
+
+class RedundancyOptimizer:
+    """Min-cost redundancy selection under durability/latency budgets."""
+
+    def __init__(self, spec, sites: Sequence[str],
+                 rtt: Callable[[str, str], float],
+                 tier: str = "s3"):
+        """``sites`` are candidate fragment regions; ``rtt(a, b)`` is the
+        round-trip time between two of them (0 for a == b); ``tier`` keys
+        the price book row fragments are stored on."""
+        self.spec = spec
+        self.sites = list(sites)
+        self.rtt = rtt
+        self.tier = tier
+
+    # -- pricing one candidate --------------------------------------------
+    def evaluate(self, k: int, m: int, size: int,
+                 reads_per_month: float, writes_per_month: float,
+                 reader_region: str) -> Optional[SchemeEstimate]:
+        """Price EC(k, m) for an object read mostly from ``reader_region``.
+
+        Returns None when the site set cannot host n distinct fragments.
+        """
+        n = k + m
+        if n > len(self.sites):
+            return None
+        by_distance = sorted(
+            self.sites,
+            key=lambda s: (0.0 if s == reader_region
+                           else self.rtt(reader_region, s), s))
+        chosen = tuple(by_distance[:n])
+        frag_bytes = Codec.fragment_length(size, k)
+        storage = monthly_storage_cost(self.tier, n * frag_bytes)
+        requests = request_cost(self.tier,
+                                puts=round(writes_per_month * n),
+                                gets=round(reads_per_month * k))
+        # A read pulls the k nearest fragments; the ones not co-located
+        # with the reader cross a region boundary.  A write ships all n.
+        read_sites = chosen[:k]
+        remote_read = sum(1 for s in read_sites if s != reader_region)
+        remote_all = sum(1 for s in chosen if s != reader_region)
+        egress = network_cost(
+            (reads_per_month * remote_read
+             + writes_per_month * remote_all) * frag_bytes, "inter_region")
+
+        def lat(site: str) -> float:
+            return (0.0 if site == reader_region
+                    else self.rtt(reader_region, site))
+        read_latency = max((lat(s) for s in read_sites), default=0.0)
+        ack = min(n, k + 1)
+        write_latency = max((lat(s) for s in chosen[:ack]), default=0.0)
+        return SchemeEstimate(
+            k=k, m=m, sites=chosen, storage_dollars=storage,
+            request_dollars=requests, egress_dollars=egress,
+            read_latency=read_latency, write_latency=write_latency,
+            durability=m)
+
+    # -- the argmin --------------------------------------------------------
+    def choose(self, size: int, reads_per_month: float,
+               writes_per_month: float,
+               reader_region: str) -> RedundancyPlan:
+        """Cheapest candidate meeting the floor and budgets.
+
+        Candidates that miss the durability floor are discarded outright;
+        if *no* candidate fits both latency budgets, the durable candidate
+        with the lowest read latency wins (availability over dollars).
+        """
+        spec = self.spec
+        estimates = []
+        for k, m in spec.candidates:
+            est = self.evaluate(k, m, size, reads_per_month,
+                                writes_per_month, reader_region)
+            if est is not None:
+                estimates.append(est)
+        if not estimates:
+            raise ValueError(
+                f"no (k, m) candidate fits {len(self.sites)} sites")
+        durable = [e for e in estimates if e.durability >= spec.durability_floor]
+        if not durable:
+            raise ValueError(
+                f"no candidate meets durability floor {spec.durability_floor}")
+        feasible = [e for e in durable
+                    if e.read_latency <= spec.read_budget
+                    and e.write_latency <= spec.write_budget]
+        pool = feasible or durable
+        ranked = sorted(pool, key=lambda e: (e.total_dollars,
+                                             e.read_latency, e.k, e.m))
+        if not feasible:
+            # Budgets are infeasible at this geometry: serve reads as fast
+            # as durability allows rather than optimizing a broken bill.
+            ranked = sorted(pool, key=lambda e: (e.read_latency,
+                                                 e.total_dollars, e.k, e.m))
+        chosen = ranked[0]
+        rejected = tuple(e for e in estimates if e is not chosen)
+        return RedundancyPlan(chosen=chosen, rejected=rejected)
+
+    # -- workload-monitor feed --------------------------------------------
+    def plan_for_monitor(self, monitor, size_bytes: int,
+                         elapsed: float) -> RedundancyPlan:
+        """Extrapolate a workload monitor window to monthly rates.
+
+        ``monitor`` is a :class:`~repro.core.workload_monitor.WorkloadMonitor`
+        (or anything with ``demand_by_region()`` and ``read_fraction()``);
+        ``elapsed`` is the observation window in simulated seconds.
+        """
+        from repro.util.units import HOUR
+        from repro.storage.cost import HOURS_PER_MONTH
+        demand = monitor.demand_by_region()
+        total_ops = sum(demand.values())
+        if elapsed <= 0 or total_ops == 0:
+            return self.choose(size_bytes, 0.0, 0.0,
+                               reader_region=self.sites[0])
+        scale = (HOURS_PER_MONTH * HOUR) / elapsed
+        read_frac = monitor.read_fraction()
+        reads = total_ops * read_frac * scale
+        writes = total_ops * (1.0 - read_frac) * scale
+        reader = max(sorted(demand), key=lambda r: demand[r])
+        return self.choose(size_bytes, reads, writes, reader_region=reader)

@@ -1,0 +1,424 @@
+"""Erasure-coded redundancy as a consistency protocol.
+
+A put under :class:`ECProtocol` does not replicate the whole object.  It
+encodes the payload into ``n = k + m`` fragments (:mod:`repro.ec.codec`),
+stores each fragment as a first-class object ``{key}#ecf{i}`` on a
+distinct Tiera instance, and records the fragment map in a small JSON
+*manifest* stored under the logical key itself.  The manifest is
+broadcast to every peer, so any instance can coordinate a read: fetch the
+``k`` nearest fragments, decode, done.  When a fragment holder is down
+the read degrades gracefully — further holders are tried and the payload
+is reconstructed from any ``k`` survivors.
+
+Replication is the ``k = 1`` point of the same design: ``EC(1, m)`` keeps
+``m + 1`` full copies and never needs reconstruction, so one protocol
+serves both redundancy shapes and the
+:class:`~repro.ec.optimizer.RedundancyOptimizer` can move objects between
+them per key-class.
+
+Fan-out rides the PR-5 batch data plane (``call_batch``): one envelope
+per holder carrying that holder's fragment, then one manifest entry per
+peer.  A put is acknowledged once at least ``min(n, k + 1)`` fragments
+landed — enough to both read the object and survive one more fault —
+and holders that were down at write time get their fragments substituted
+onto other live instances (a *degraded write*), with the manifest
+rewritten to match.  Lost fragments are re-established in the background
+by :class:`~repro.ec.repair.ECRepairer`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Generator, Optional
+
+from repro.core.consistency.base import GlobalProtocol, ProtocolError
+from repro.ec.codec import Codec
+from repro.obs.api import get_obs
+from repro.obs.trace import NULL_SPAN
+from repro.storage.backend import ObjectMissingError
+
+#: manifests are JSON objects whose serialization starts with this tag
+MANIFEST_MAGIC = b'{"ec": 1'
+
+#: separator between a logical key and its fragment index
+FRAGMENT_SEP = "#ecf"
+
+
+def fragment_key(key: str, index: int) -> str:
+    return f"{key}{FRAGMENT_SEP}{index}"
+
+
+def is_fragment_key(key: str) -> bool:
+    return FRAGMENT_SEP in key
+
+
+def encode_manifest(k: int, m: int, size: int,
+                    frags: dict[int, str]) -> bytes:
+    """Serialize a fragment map; deterministic byte-for-byte."""
+    doc = {"ec": 1, "k": k, "m": m, "size": size,
+           "frags": {str(i): iid for i, iid in sorted(frags.items())}}
+    return json.dumps(doc, sort_keys=True).encode()
+
+
+def decode_manifest(data: Optional[bytes]) -> Optional[dict]:
+    """Parse a manifest; None for anything that is not one (plain bytes
+    preloaded under the key, or an unreadable payload)."""
+    if data is None or not data.startswith(MANIFEST_MAGIC):
+        return None
+    doc = json.loads(data.decode())
+    doc["frags"] = {int(i): iid for i, iid in doc["frags"].items()}
+    return doc
+
+
+class ECProtocol(GlobalProtocol):
+    """Fragmented writes, nearest-k reads, LWW fragment merge."""
+
+    name = "ec"
+
+    def __init__(self, spec):
+        from repro.ec.repair import ECRepairer  # cycle: repair uses helpers
+        self.spec = spec
+        self._repairer_cls = ECRepairer
+        self._repairers: dict[str, object] = {}
+        #: per-key-class (prefix) scheme overrides, longest prefix wins.
+        self._overrides: dict[str, tuple[int, int]] = {
+            prefix: (k, m) for prefix, k, m in spec.overrides}
+        self._metrics = None
+
+    # -- schemes ----------------------------------------------------------
+    def set_scheme(self, prefix: str, k: int, m: int) -> None:
+        """Route keys starting with ``prefix`` to EC(k, m) from now on.
+
+        Applies to new writes only; existing objects keep the scheme
+        recorded in their manifest until rewritten.
+        """
+        if k < 1 or m < 0 or k + m > 255:
+            raise ValueError(f"invalid scheme k={k} m={m}")
+        self._overrides[prefix] = (k, m)
+
+    def scheme_for(self, key: str) -> tuple[int, int]:
+        best = None
+        for prefix, scheme in self._overrides.items():
+            if key.startswith(prefix) and (best is None
+                                           or len(prefix) > len(best[0])):
+                best = (prefix, scheme)
+        if best is not None:
+            return best[1]
+        return (self.spec.k, self.spec.m)
+
+    # -- lifecycle --------------------------------------------------------
+    def attach(self, instance) -> None:
+        if self._metrics is None:
+            metrics = get_obs(instance.sim).metrics
+            self._metrics = {
+                "puts": metrics.counter("ec.puts"),
+                "gets": metrics.counter("ec.gets"),
+                "fragments_written": metrics.counter("ec.fragments_written"),
+                "degraded_writes": metrics.counter("ec.degraded_writes"),
+                "degraded_reads": metrics.counter("ec.degraded_reads"),
+                "manifest_fallbacks": metrics.counter(
+                    "ec.manifest_fallbacks"),
+                "manifest_push_failures": metrics.counter(
+                    "ec.manifest_push_failures"),
+            }
+        if self.spec.repair_interval is not None:
+            repairer = self._repairer_cls(instance, self,
+                                          self.spec.repair_interval)
+            self._repairers[instance.instance_id] = repairer
+            repairer.start()
+
+    def detach(self, instance) -> None:
+        repairer = self._repairers.pop(instance.instance_id, None)
+        if repairer is not None:
+            repairer.stop()
+
+    def _count(self, name: str, value: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics[name].inc(value)
+
+    # -- topology helpers -------------------------------------------------
+    def ring(self, instance) -> list[tuple[str, object]]:
+        """(instance_id, peer_ref_or_None) nearest-first, self at rank 0.
+
+        Order is deterministic: one-way latency, ties broken by id.
+        """
+        entries = [(-1.0, instance.instance_id, None)]
+        for iid, peer in instance.peers.items():
+            lat = instance.network.oneway_latency(instance.host,
+                                                  peer.node.host)
+            entries.append((lat, iid, peer))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return [(iid, peer) for _, iid, peer in entries]
+
+    # -- put --------------------------------------------------------------
+    def on_put(self, instance, key: str, data: bytes, tags=(),
+               src: str = "app") -> Generator:
+        tracer = get_obs(instance.sim).tracer
+        span = (tracer.span("ec:put", cat="ec",
+                            component=instance.instance_id, key=key)
+                if tracer.enabled else NULL_SPAN)
+        with span:
+            result = yield from self._put(instance, key, data, tags)
+        return result
+
+    def _put(self, instance, key: str, data: bytes, tags) -> Generator:
+        k, m = self.scheme_for(key)
+        n = k + m
+        ring = self.ring(instance)
+        if len(ring) < n:
+            raise ProtocolError(
+                f"EC({k},{m}) needs {n} instances, group has {len(ring)}")
+        holders = ring[:n]
+        frag_map = {i: iid for i, (iid, _) in enumerate(holders)}
+
+        # The manifest put reserves the logical version atomically.
+        version = yield from instance.local_put(
+            key, encode_manifest(k, m, len(data), frag_map), tags=tags)
+        meta = instance.meta.get_record(key).versions[version]
+        lm = meta.last_modified
+        fragments = Codec.encode(data, k, n)
+
+        # Fan the fragments out, one batched envelope per remote holder;
+        # the local fragment is stored in-line.
+        landed: set[int] = set()
+        failed: list[int] = []
+        calls = []
+        for idx, (iid, peer) in enumerate(holders):
+            if peer is None:
+                yield from instance.local_put(
+                    fragment_key(key, idx), fragments[idx], version=version,
+                    origin=instance.instance_id, last_modified=lm)
+                landed.add(idx)
+                continue
+            call = instance.node.call_batch(
+                peer.node, [self._frag_entry(instance, key, idx,
+                                             fragments[idx], version, lm)])
+            call.defuse()
+            calls.append((idx, call))
+        for idx, call in calls:
+            try:
+                results = yield call
+                if results[0].get("ok"):
+                    landed.add(idx)
+                else:
+                    failed.append(idx)
+            except Exception:
+                failed.append(idx)
+
+        # Degraded write: substitute unreachable holders with further live
+        # ring members so the full fragment count is still established.
+        spares = [(iid, peer) for iid, peer in ring[n:]
+                  if iid not in frag_map.values()]
+        substituted = False
+        for idx in list(failed):
+            while spares:
+                iid, peer = spares.pop(0)
+                try:
+                    results = yield instance.node.call_batch(
+                        peer.node,
+                        [self._frag_entry(instance, key, idx,
+                                          fragments[idx], version, lm)])
+                except Exception:
+                    continue
+                if results[0].get("ok"):
+                    frag_map[idx] = iid
+                    landed.add(idx)
+                    failed.remove(idx)
+                    substituted = True
+                    break
+
+        ack_floor = min(n, k + 1)
+        if len(landed) < ack_floor:
+            raise ProtocolError(
+                f"EC put of {key!r} landed {len(landed)}/{n} fragments, "
+                f"needs {ack_floor}")
+
+        # Drop unreachable slots from the manifest so readers and the
+        # repairer know exactly which fragments exist and where.
+        for idx in failed:
+            frag_map.pop(idx, None)
+        manifest = encode_manifest(k, m, len(data), frag_map)
+        if substituted or failed:
+            lm = instance.sim.now
+            yield from instance.purge_version(key, version)
+            yield from instance.local_put(key, manifest, version=version,
+                                          origin=instance.instance_id,
+                                          last_modified=lm)
+            self._count("degraded_writes")
+
+        # Every peer gets the manifest — that is what lets any instance
+        # coordinate a read.  Push failures are tolerated: the get-path
+        # fallback and the repairer re-establish missing manifests.
+        margs = {"key": key, "version": version, "last_modified": lm,
+                 "origin": instance.instance_id, "data": manifest}
+        mcalls = []
+        for iid, peer in ring[1:]:
+            call = instance.node.call_batch(
+                peer.node,
+                [("replica_update", margs, len(manifest) + 512)])
+            call.defuse()
+            mcalls.append(call)
+        for call in mcalls:
+            try:
+                results = yield call
+                if not results[0].get("ok"):
+                    self._count("manifest_push_failures")
+            except Exception:
+                self._count("manifest_push_failures")
+
+        self._count("puts")
+        self._count("fragments_written", len(landed))
+        return {"version": version, "region": instance.region,
+                "consistency": self.name, "scheme": (k, m),
+                "fragments": len(landed), "degraded": bool(substituted or failed)}
+
+    @staticmethod
+    def _frag_entry(instance, key: str, idx: int, fragment: bytes,
+                    version: int, lm: float) -> tuple:
+        args = {"key": fragment_key(key, idx), "version": version,
+                "last_modified": lm, "origin": instance.instance_id,
+                "data": fragment}
+        return ("replica_update", args, len(fragment) + 512)
+
+    # -- get --------------------------------------------------------------
+    def on_get(self, instance, key: str,
+               version: Optional[int] = None) -> Generator:
+        tracer = get_obs(instance.sim).tracer
+        span = (tracer.span("ec:get", cat="ec",
+                            component=instance.instance_id, key=key)
+                if tracer.enabled else NULL_SPAN)
+        with span:
+            result = yield from self._get(instance, key, version)
+        return result
+
+    def _get(self, instance, key: str,
+             version: Optional[int]) -> Generator:
+        try:
+            data, meta, record = yield from instance.read_version(key,
+                                                                  version)
+            mversion, latest = meta.version, record.latest_version
+        except ObjectMissingError:
+            # No readable local manifest (fresh instance, or wiped by a
+            # crash): fetch it from the nearest peer and install it.
+            data, mversion, latest = yield from self._manifest_fallback(
+                instance, key, version)
+        manifest = decode_manifest(data)
+        if manifest is None:
+            # Plain object (e.g. preloaded fixture) — serve it as-is.
+            return {"data": data, "version": mversion,
+                    "latest_local": latest}
+
+        k, m, size = manifest["k"], manifest["m"], manifest["size"]
+        n = k + m
+        frag_map = manifest["frags"]
+        ring = self.ring(instance)
+        rank = {iid: pos for pos, (iid, _) in enumerate(ring)}
+        peer_by_id = dict(ring)
+        order = sorted(frag_map.items(),
+                       key=lambda kv: (rank.get(kv[1], len(rank)), kv[0]))
+
+        collected: dict[int, bytes] = {}
+        degraded = False
+        cursor = 0
+        while len(collected) < k and cursor < len(order):
+            want = k - len(collected)
+            wave = order[cursor:cursor + want]
+            cursor += len(wave)
+            calls = []
+            for idx, iid in wave:
+                peer = peer_by_id.get(iid)
+                if iid == instance.instance_id:
+                    try:
+                        frag, _, _ = yield from instance.read_version(
+                            fragment_key(key, idx), mversion,
+                            run_rules=False)
+                        collected[idx] = frag
+                    except Exception:
+                        degraded = True
+                    continue
+                if peer is None:
+                    degraded = True
+                    continue
+                call = instance.node.call(
+                    peer.node, "peer_get",
+                    {"key": fragment_key(key, idx), "version": mversion},
+                    reply_size=Codec.fragment_length(size, k) + 512)
+                call.defuse()
+                calls.append((idx, call))
+            for idx, call in calls:
+                try:
+                    res = yield call
+                    collected[idx] = res["data"]
+                except Exception:
+                    degraded = True
+        if len(collected) < k:
+            raise ProtocolError(
+                f"EC get of {key!r} v{mversion}: only {len(collected)} of "
+                f"{k} required fragments reachable")
+        value = Codec.decode(collected, k, n, size)
+        self._count("gets")
+        if degraded:
+            self._count("degraded_reads")
+        return {"data": value, "version": mversion, "latest_local": latest,
+                "degraded": degraded}
+
+    def _manifest_fallback(self, instance, key: str,
+                           version: Optional[int]) -> Generator:
+        self._count("manifest_fallbacks")
+        last_error = None
+        for iid, peer in self.ring(instance)[1:]:
+            call = instance.node.call(peer.node, "peer_get",
+                                      {"key": key, "version": version})
+            call.defuse()
+            try:
+                res = yield call
+            except Exception as exc:
+                last_error = exc
+                continue
+            # Install the fetched manifest locally so later reads are
+            # coordinated without a WAN hop.  A lingering unreadable local
+            # version (volatile tier wiped by a crash) is purged first —
+            # LWW would otherwise reject the same-version reinstall.
+            record = instance.meta.get_record(key)
+            if record is not None and record.has_version(res["version"]):
+                yield from instance.purge_version(key, res["version"])
+            yield from instance.local_put(
+                key, res["data"], version=res["version"],
+                origin=res.get("origin", iid),
+                last_modified=res["last_modified"])
+            return res["data"], res["version"], res["latest_local"]
+        raise ObjectMissingError(
+            f"{instance.instance_id}: no reachable manifest for {key!r}"
+        ) from last_error
+
+    # -- remove -----------------------------------------------------------
+    def on_remove(self, instance, key: str,
+                  version: Optional[int] = None,
+                  src: str = "app") -> Generator:
+        frag_keys: set[str] = set()
+        record = instance.meta.get_record(key)
+        if record is not None:
+            victims = ([version] if version is not None
+                       else record.version_list())
+            for v in victims:
+                if not record.has_version(v):
+                    continue
+                try:
+                    data, _, _ = yield from instance.read_version(
+                        key, v, run_rules=False)
+                except ObjectMissingError:
+                    data = None
+                manifest = decode_manifest(data)
+                if manifest is not None:
+                    total = manifest["k"] + manifest["m"]
+                    frag_keys.update(fragment_key(key, i)
+                                     for i in range(total))
+        removed = yield from instance.local_remove(key, version)
+        for fk in sorted(frag_keys):
+            yield from instance.local_remove(fk, version)
+        entries = [("replica_remove", {"key": key, "version": version}, 256)]
+        entries += [("replica_remove", {"key": fk, "version": version}, 256)
+                    for fk in sorted(frag_keys)]
+        for iid, peer in self.ring(instance)[1:]:
+            instance.node.send_oneway_batch(peer.node, entries)
+        return {"removed": removed}

@@ -1,0 +1,282 @@
+"""Background fragment repair for the erasure-coded redundancy plane.
+
+Plain anti-entropy (:mod:`repro.core.consistency.repair`) compares
+metadata digests — but a crashed host that wiped a volatile tier still
+*advertises* the fragment version, only the bytes are gone.  The EC
+repairer therefore checks actual readability: every ``interval`` seconds
+each instance walks its manifests, and for each object where it is the
+*repair leader* (the first alive fragment holder in index order — every
+holder has the manifest, so exactly one leader emerges per object) it
+verifies all ``n`` fragment slots via the ``check_readable`` RPC,
+reconstructs anything missing from ``k`` survivors, and pushes the
+rebuilt fragment back — to the original holder if it is alive again, or
+onto a substitute instance otherwise (rewriting and re-broadcasting the
+manifest to match).
+
+Rebuilt fragments ship with a *bumped* ``last_modified``: the restarted
+holder still has the old version's metadata, and last-write-wins would
+reject a same-version push that is not strictly newer.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.ec.protocol import (decode_manifest, encode_manifest,
+                               fragment_key, is_fragment_key)
+from repro.ec.codec import Codec
+from repro.obs.api import get_obs
+from repro.sim.kernel import Interrupt
+from repro.storage.backend import ObjectMissingError
+from repro.tiera.objects import storage_key
+
+
+class ECRepairer:
+    """One fragment-repair loop for one Tiera instance."""
+
+    def __init__(self, instance, protocol, interval: float):
+        self.instance = instance
+        self.protocol = protocol
+        self.interval = interval
+        self._proc = None
+        self.rounds = 0
+        self.fragments_rebuilt = 0
+        metrics = get_obs(instance.sim).metrics
+        labels = {"instance": instance.instance_id}
+        self._m_rounds = metrics.counter("ec.repair_rounds", **labels)
+        self._m_rebuilt = metrics.counter("ec.fragments_rebuilt", **labels)
+        self._m_skipped = metrics.counter("ec.repair_skipped", **labels)
+
+    def start(self) -> None:
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.instance.sim.process(
+                self._run(), name=f"ec-repair:{self.instance.instance_id}")
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("repairer stopped")
+        self._proc = None
+
+    def _run(self) -> Generator:
+        try:
+            while True:
+                yield self.instance.sim.timeout(self.interval)
+                yield from self.repair_round()
+        except Interrupt:
+            return
+
+    # ------------------------------------------------------------------
+    def repair_round(self) -> Generator:
+        instance = self.instance
+        self.rounds += 1
+        self._m_rounds.inc()
+        alive: dict[str, bool] = {instance.instance_id: True}
+        for record in list(instance.meta.records()):
+            key = record.key
+            if is_fragment_key(key):
+                continue
+            meta = record.latest()
+            if meta is None:
+                continue
+            try:
+                data, vmeta, _ = yield from instance.read_version(
+                    key, run_rules=False)
+            except ObjectMissingError:
+                continue  # unreadable manifest: the get-path fallback heals it
+            manifest = decode_manifest(data)
+            if manifest is None:
+                continue
+            try:
+                yield from self._repair_object(key, vmeta, manifest, alive)
+            except Exception:
+                # One stubborn object must not starve the rest of the round.
+                self._m_skipped.inc()
+
+    def _is_alive(self, iid: str, alive: dict[str, bool]) -> Generator:
+        cached = alive.get(iid)
+        if cached is not None:
+            return cached
+            yield  # pragma: no cover
+        peer = self.instance.peers.get(iid)
+        if peer is None:
+            alive[iid] = False
+            return False
+        try:
+            yield self.instance.node.call(peer.node, "probe", {})
+            alive[iid] = True
+        except Exception:
+            alive[iid] = False
+        return alive[iid]
+
+    def _local_readable(self, key: str, version: int) -> bool:
+        instance = self.instance
+        record = instance.meta.get_record(key)
+        if record is None or not record.has_version(version):
+            return False
+        meta = record.versions[version]
+        skey = storage_key(key, version)
+        return any(skey in instance.tiers[t]
+                   for t in meta.locations if t in instance.tiers)
+
+    def _repair_object(self, key: str, vmeta, manifest: dict,
+                       alive: dict[str, bool]) -> Generator:
+        instance = self.instance
+        k, m, size = manifest["k"], manifest["m"], manifest["size"]
+        n = k + m
+        version = vmeta.version
+        frag_map = dict(manifest["frags"])
+
+        # Leadership: the first *alive* holder in fragment-index order
+        # repairs; everyone else skips this object this round.
+        for idx in sorted(frag_map):
+            holder = frag_map[idx]
+            if holder == instance.instance_id:
+                break
+            holder_alive = yield from self._is_alive(holder, alive)
+            if holder_alive:
+                return  # an earlier holder is up — it leads
+        else:
+            return  # we hold no fragment of this object
+
+        # Which slots are broken?  A slot is broken when it is unmapped,
+        # its holder is down, or the holder no longer has readable bytes.
+        missing: list[int] = []
+        remote_checks: dict[str, list[int]] = {}
+        for idx in range(n):
+            holder = frag_map.get(idx)
+            if holder == instance.instance_id:
+                if not self._local_readable(fragment_key(key, idx), version):
+                    missing.append(idx)
+            elif holder is None:
+                missing.append(idx)
+            else:
+                holder_alive = yield from self._is_alive(holder, alive)
+                if holder_alive:
+                    remote_checks.setdefault(holder, []).append(idx)
+                else:
+                    missing.append(idx)
+        for holder, idxs in sorted(remote_checks.items()):
+            peer = instance.peers[holder]
+            items = [(fragment_key(key, idx), version) for idx in idxs]
+            try:
+                res = yield instance.node.call(peer.node, "check_readable",
+                                               {"items": items})
+            except Exception:
+                missing.extend(idxs)
+                continue
+            gone = set(res["missing"])
+            missing.extend(idx for idx in idxs
+                           if fragment_key(key, idx) in gone)
+        if not missing:
+            return
+        missing.sort()
+
+        # Gather k readable fragments (nearest-first via the put ring) and
+        # reconstruct the payload.
+        available: dict[int, bytes] = {}
+        order = sorted(
+            (idx for idx in frag_map if idx not in missing),
+            key=lambda idx: (0 if frag_map[idx] == instance.instance_id
+                             else 1, idx))
+        for idx in order:
+            if len(available) >= k:
+                break
+            holder = frag_map[idx]
+            fkey = fragment_key(key, idx)
+            if holder == instance.instance_id:
+                try:
+                    frag, _, _ = yield from instance.read_version(
+                        fkey, version, run_rules=False)
+                    available[idx] = frag
+                except Exception:
+                    continue
+            else:
+                peer = instance.peers.get(holder)
+                if peer is None:
+                    continue
+                try:
+                    res = yield instance.node.call(
+                        peer.node, "peer_get",
+                        {"key": fkey, "version": version},
+                        reply_size=Codec.fragment_length(size, k) + 512)
+                    available[idx] = res["data"]
+                except Exception:
+                    continue
+        if len(available) < k:
+            self._m_skipped.inc()
+            return  # unrepairable this round; try again next interval
+        data = Codec.decode(available, k, n, size)
+        fragments = Codec.encode(data, k, n)
+
+        # Re-home each missing fragment: original holder if alive, else the
+        # nearest live instance not already holding one.
+        lm = instance.sim.now  # bumped so LWW accepts the reinstall
+        used = set(frag_map.values())
+        spares = [(iid, peer) for iid, peer in self.protocol.ring(instance)
+                  if iid not in used]
+        remap = False
+        for idx in missing:
+            holder = frag_map.get(idx)
+            target, peer = None, None
+            if holder is not None:
+                holder_alive = yield from self._is_alive(holder, alive)
+                if holder_alive:
+                    target, peer = holder, instance.peers.get(holder)
+            while target is None and spares:
+                iid, spare_peer = spares.pop(0)
+                spare_alive = yield from self._is_alive(iid, alive)
+                if spare_alive:
+                    target, peer = iid, spare_peer
+            if target is None:
+                self._m_skipped.inc()
+                continue
+            fkey = fragment_key(key, idx)
+            if target == instance.instance_id:
+                record = instance.meta.get_record(fkey)
+                if record is not None and record.has_version(version):
+                    yield from instance.purge_version(fkey, version)
+                yield from instance.local_put(
+                    fkey, fragments[idx], version=version,
+                    origin=instance.instance_id, last_modified=lm)
+            else:
+                args = {"key": fkey, "version": version,
+                        "last_modified": lm,
+                        "origin": instance.instance_id,
+                        "data": fragments[idx]}
+                try:
+                    results = yield instance.node.call_batch(
+                        peer.node,
+                        [("replica_update", args,
+                          len(fragments[idx]) + 512)])
+                except Exception:
+                    self._m_skipped.inc()
+                    continue
+                if not results[0].get("ok"):
+                    self._m_skipped.inc()
+                    continue
+            if frag_map.get(idx) != target:
+                frag_map[idx] = target
+                remap = True
+            used.add(target)
+            self.fragments_rebuilt += 1
+            self._m_rebuilt.inc()
+
+        if remap:
+            manifest_bytes = encode_manifest(k, m, size, frag_map)
+            yield from instance.purge_version(key, version)
+            yield from instance.local_put(key, manifest_bytes,
+                                          version=version,
+                                          origin=instance.instance_id,
+                                          last_modified=lm)
+            margs = {"key": key, "version": version, "last_modified": lm,
+                     "origin": instance.instance_id, "data": manifest_bytes}
+            for iid, peer in self.protocol.ring(instance)[1:]:
+                peer_alive = yield from self._is_alive(iid, alive)
+                if not peer_alive:
+                    continue
+                try:
+                    yield instance.node.call_batch(
+                        peer.node, [("replica_update", margs,
+                                     len(manifest_bytes) + 512)])
+                except Exception:
+                    pass

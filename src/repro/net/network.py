@@ -80,6 +80,8 @@ class Network:
         self._pair_injections: dict[frozenset[str], list[_Injection]] = {}
         self._partitions: dict[frozenset[str], float] = {}  # pair -> end time
         self.monitor = None  # optional NetworkMonitor
+        #: optional CostLedger billing egress; set by build_deployment
+        self.ledger = None
         self.bytes_transferred = 0
         self.messages_sent = 0
         self._obs = get_obs(sim)
@@ -223,6 +225,12 @@ class Network:
             self.bytes_transferred += nbytes
             self._msg_counter.inc()
             self._bytes_counter.inc(nbytes)
+            if self.ledger is not None and src is not dst:
+                # Billed once per transfer, before the chunk loop: egress
+                # dollars are identical with chunking on or off.
+                scope = ("intra_dc" if src.region == dst.region
+                         else "inter_region")
+                self.ledger.record_network(nbytes, scope)
             if src is not dst:
                 chunk = self.chunk_bytes
                 if chunk > 0 and nbytes > chunk:

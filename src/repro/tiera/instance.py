@@ -617,6 +617,7 @@ class TieraInstance:
         n.register("forward_put", self.rpc_forward_put)
         n.register("forward_remove", self.rpc_forward_remove)
         n.register("digest", self.rpc_digest)
+        n.register("check_readable", self.rpc_check_readable)
         n.register("peer_get", self.rpc_peer_get)
         n.register("peer_has", self.rpc_peer_has)
         n.register("probe", self.rpc_probe)
@@ -767,6 +768,28 @@ class TieraInstance:
             if meta is not None:
                 keys[record.key] = (meta.version, meta.last_modified)
         return {"keys": keys, "instance": self.instance_id}
+
+    def rpc_check_readable(self, msg: Message) -> Generator:
+        """Readability probe for specific (key, version) pairs.
+
+        Unlike ``digest`` this checks the *bytes*, not just the metadata:
+        a version whose only locations were wiped volatile tiers (host
+        crash) still advertises itself in the digest, but fails here.
+        The EC fragment repairer relies on that distinction.
+        """
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        missing = []
+        for key, version in msg.args["items"]:
+            readable = False
+            record = self.meta.get_record(key)
+            if record is not None and record.has_version(version):
+                meta = record.versions[version]
+                skey = storage_key(key, version)
+                readable = any(skey in self.tiers[t]
+                               for t in meta.locations if t in self.tiers)
+            if not readable:
+                missing.append(key)
+        return {"missing": missing, "instance": self.instance_id}
 
     def rpc_peer_get(self, msg: Message) -> Generator:
         data, meta, record = yield from self.read_version(

@@ -1,0 +1,124 @@
+"""Property tests for the GF(256) erasure codec (repro.ec.codec)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.ec.codec import Codec, gf_inv, gf_mul, parity_matrix
+
+SIZES = [0, 1, 7, 100, 1024]
+SCHEMES = [(1, 2), (1, 3), (2, 3), (2, 4), (3, 5), (4, 6)]
+
+
+def rng_bytes(seed: int, size: int) -> bytes:
+    return random.Random(seed).randbytes(size)
+
+
+class TestField:
+    def test_multiplicative_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    def test_cauchy_entries_nonzero(self):
+        for k, n in SCHEMES:
+            for row in parity_matrix(k, n - k):
+                assert all(v != 0 for v in row)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("size", SIZES)
+    @pytest.mark.parametrize("k,n", SCHEMES)
+    def test_systematic_round_trip(self, size, k, n):
+        data = rng_bytes(size * 31 + k, size)
+        frags = Codec.encode(data, k, n)
+        assert len(frags) == n
+        length = Codec.fragment_length(size, k)
+        assert all(len(f) == length for f in frags)
+        got = Codec.decode({i: frags[i] for i in range(k)}, k, n, size)
+        assert got == data
+
+    @pytest.mark.parametrize("k,n", SCHEMES)
+    def test_every_erasure_pattern(self, k, n):
+        """MDS property: *every* k-subset of fragments reconstructs."""
+        size = 257  # deliberately not a multiple of any k used here
+        data = rng_bytes(n, size)
+        frags = Codec.encode(data, k, n)
+        for subset in itertools.combinations(range(n), k):
+            got = Codec.decode({i: frags[i] for i in subset}, k, n, size)
+            assert got == data, subset
+
+    def test_non_multiple_of_k_sizes(self):
+        for size in (5, 9, 13, 1001):
+            data = rng_bytes(size, size)
+            frags = Codec.encode(data, 4, 6)
+            assert Codec.decode({2: frags[2], 3: frags[3], 4: frags[4],
+                                 5: frags[5]}, 4, 6, size) == data
+
+    def test_one_mebibyte(self):
+        data = rng_bytes(99, 1 << 20)
+        frags = Codec.encode(data, 4, 6)
+        got = Codec.decode({0: frags[0], 2: frags[2], 4: frags[4],
+                            5: frags[5]}, 4, 6, len(data))
+        assert got == data
+
+    def test_replication_degenerate_k1(self):
+        """k=1: every fragment alone reconstructs the whole payload."""
+        data = rng_bytes(3, 300)
+        frags = Codec.encode(data, 1, 3)
+        assert frags[0] == data  # systematic: shard 0 is the data itself
+        for i in range(3):
+            assert Codec.decode({i: frags[i]}, 1, 3, len(data)) == data
+
+
+class TestDeterminism:
+    def test_encode_deterministic(self):
+        data = rng_bytes(42, 512)
+        assert Codec.encode(data, 3, 5) == Codec.encode(data, 3, 5)
+
+    def test_decode_ignores_arrival_order(self):
+        """Decoding uses the k smallest indices regardless of dict order
+        or of extra fragments being present."""
+        data = rng_bytes(7, 400)
+        k, n = 2, 4
+        frags = Codec.encode(data, k, n)
+        orders = [
+            {1: frags[1], 3: frags[3]},
+            {3: frags[3], 1: frags[1]},
+            {3: frags[3], 1: frags[1], 2: frags[2]},  # extra fragment
+        ]
+        results = [Codec.decode(d, k, n, len(data)) for d in orders]
+        assert all(r == data for r in results)
+
+    def test_rebuild_matches_original_fragment(self):
+        data = rng_bytes(11, 333)
+        k, n = 3, 5
+        frags = Codec.encode(data, k, n)
+        for missing in range(n):
+            rest = {i: frags[i] for i in range(n) if i != missing}
+            assert Codec.rebuild(rest, k, n, len(data),
+                                 missing) == frags[missing]
+
+
+class TestValidation:
+    def test_too_few_fragments(self):
+        frags = Codec.encode(b"hello", 2, 3)
+        with pytest.raises(ValueError):
+            Codec.decode({0: frags[0]}, 2, 3, 5)
+
+    def test_bad_schemes(self):
+        with pytest.raises(ValueError):
+            Codec.encode(b"x", 0, 3)
+        with pytest.raises(ValueError):
+            Codec.encode(b"x", 4, 3)
+        with pytest.raises(ValueError):
+            Codec.encode(b"x", 200, 300)
+
+    def test_wrong_fragment_length(self):
+        frags = Codec.encode(b"payload!", 2, 4)
+        with pytest.raises(ValueError):
+            Codec.decode({0: frags[0], 1: frags[1][:-1]}, 2, 4, 8)

@@ -153,3 +153,43 @@ class TestPlacementAdvisor:
         advice = advisor.advise()
         assert advice.primary_region in REGIONS
         assert advice.demand == {}
+
+
+class TestCostAwareAdvice:
+    def test_weight_zero_is_latency_only(self):
+        """Satellite regression: cost_weight=0 (the default) must produce
+        advice identical to a latency-only advisor — the price book is
+        never consulted."""
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        hammer(dep, instances, ASIA_EAST, 25)
+        hammer(dep, instances, EU_WEST, 10)
+        dep.drive(monitor.poll_once())
+        plain = DataPlacementAdvisor(tim, monitor).advise()
+        weighted = DataPlacementAdvisor(tim, monitor,
+                                        cost_weight=0.0).advise()
+        assert weighted == plain
+
+    def test_cost_weight_penalizes_expensive_region(self):
+        """A huge cost_weight makes the advisor avoid the region carrying
+        the most stored bytes (highest storage dollars), even though it
+        has the most demand."""
+        dep, instances = deploy()
+        tim = dep.tim("pl")
+        monitor = WorkloadMonitor(tim, poll_interval=5.0)
+        hammer(dep, instances, ASIA_EAST, 40)
+        dep.drive(monitor.poll_once())
+        latency_only = DataPlacementAdvisor(tim, monitor)
+        assert latency_only.best_primary()[0] == ASIA_EAST
+        # pile bytes onto the asia-east instance so its storage bill
+        # dwarfs everyone else's
+        inst = dep.instance("pl", ASIA_EAST)
+        for backend in inst.tiers.values():
+            backend.preload("ballast", b"x" * (64 << 20))
+            break
+        costly = DataPlacementAdvisor(tim, monitor, cost_weight=1e6)
+        demand = monitor.demand_by_region()
+        assert (costly.region_monthly_cost(ASIA_EAST, demand)
+                > costly.region_monthly_cost(US_EAST, demand))
+        assert costly.best_primary()[0] != ASIA_EAST
