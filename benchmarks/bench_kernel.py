@@ -155,8 +155,8 @@ def run_micro(quick: bool = False) -> dict:
 
 def run_macro(quick: bool = False) -> dict:
     """Sharded YCSB-A events/sec (whole stack), via bench_shard_scaleout."""
-    from bench_shard_scaleout import _run_one
-    row = _run_one(shards=4, duration=20.0 if quick else 60.0,
+    from bench_shard_scaleout import _closed_loop_one
+    row = _closed_loop_one(shards=4, duration=20.0 if quick else 60.0,
                    clients=2 if quick else 4,
                    record_count=100 if quick else 400)
     return {

@@ -1,0 +1,204 @@
+"""Multi-process sharded simulation: speedup + determinism gates.
+
+Runs the 8-shard, 4-region open-loop YCSB cell once single-process and
+once partitioned across worker processes (``repro.par``), and gates
+(``--quick --check``) on the parallel contract:
+
+* **determinism** — the partitioned run must produce the identical
+  final store digest, identical acked-write digest, and identical
+  open-loop conservation counters (offered / achieved / errors / shed /
+  discarded) as the single-process run.  Always enforced.
+* **speedup** — wall-clock speedup at ``WORKERS`` workers must reach
+  MIN_SPEEDUP on the same cell.  Enforced only when the machine
+  actually has >= WORKERS usable cores (CI runners do); on smaller
+  hosts the measured value is recorded as informational, because a
+  1-core box serializes the workers and measures barrier overhead, not
+  parallel execution.
+
+Output goes to ``results/BENCH_parallel.json``.  Run as a script
+(``--quick`` shrinks the run for CI smoke) or via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.bench.openloop import PAR_REGIONS, parallel_cell_builder
+from repro.par import run_parallel
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+OUT_PATH = RESULTS / "BENCH_parallel.json"
+
+#: the partitioned configuration under test (one region group per worker)
+WORKERS = 4
+
+#: gate: wall-clock speedup of the WORKERS-way run over single-process,
+#: enforced when the host has >= WORKERS usable cores
+MIN_SPEEDUP = 2.5
+
+#: the conservation counters that must match between runs
+CONSERVED = ("offered", "achieved", "errors", "shed", "discarded")
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_summary(result) -> dict:
+    report = result.report
+    return {
+        "workers": result.workers,
+        "window_sim_sec": result.window,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "kernel_events": result.events_processed,
+        "events_per_second": round(result.events_per_second),
+        "store_digest": result.store_digest,
+        "acked_digest": report["acked_digest"],
+        "counters": {k: report[k] for k in CONSERVED},
+        "achieved_rate": round(report["achieved_rate"], 3),
+        "bridged": [p["bridged"] for p in result.per_worker],
+    }
+
+
+def run(quick: bool = False, workers: int = WORKERS) -> dict:
+    duration = 6.0 if quick else 15.0
+    offered_total = 4000.0 if quick else 8000.0
+    build = parallel_cell_builder(shards=8, offered_total=offered_total,
+                                  workers=workers, regions=PAR_REGIONS)
+    single = run_parallel(build, duration, workers=1, grace=1.0)
+    par = run_parallel(build, duration, workers=workers, grace=1.0)
+    runs = [_run_summary(single), _run_summary(par)]
+    if not quick:
+        half = run_parallel(build, duration, workers=workers // 2,
+                            grace=1.0)
+        runs.insert(1, _run_summary(half))
+    speedup = single.wall_seconds / max(par.wall_seconds, 1e-9)
+    equivalence = {
+        "digest_match": par.store_digest == single.store_digest,
+        "acked_digest_match": (par.report["acked_digest"]
+                               == single.report["acked_digest"]),
+        "counters_match": all(par.report[k] == single.report[k]
+                              for k in CONSERVED),
+    }
+    return {
+        "benchmark": "parallel",
+        "quick": quick,
+        "cell": {"shards": 8, "regions": list(PAR_REGIONS),
+                 "offered_per_sec": offered_total,
+                 "duration_sim_sec": duration},
+        "cores": _usable_cores(),
+        "workers": workers,
+        "speedup": round(speedup, 3),
+        "equivalence": equivalence,
+        "runs": runs,
+    }
+
+
+def _load_existing() -> dict:
+    if OUT_PATH.exists():
+        try:
+            return json.loads(OUT_PATH.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+def emit(result: dict, rebaseline: bool = False) -> Path:
+    """Write the result, carrying the last full run's headline numbers
+    as ``baseline`` (same idiom as the other benches)."""
+    existing = _load_existing()
+    carried = {}
+    if "baseline" in existing:
+        carried["baseline"] = existing["baseline"]
+    if rebaseline or not result["quick"] or "baseline" not in carried:
+        carried["baseline"] = {
+            "quick": result["quick"],
+            "cores": result["cores"],
+            "workers": result["workers"],
+            "speedup": result["speedup"],
+            "equivalence": result["equivalence"],
+            "events_per_second": {str(r["workers"]): r["events_per_second"]
+                                  for r in result["runs"]},
+        }
+    result.update(carried)
+    RESULTS.mkdir(exist_ok=True)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return OUT_PATH
+
+
+def check_gate(result: dict) -> bool:
+    ok = True
+    eq = result["equivalence"]
+    for name, label in (("digest_match", "store digest"),
+                        ("acked_digest_match", "acked-write digest"),
+                        ("counters_match", "conservation counters")):
+        if not eq[name]:
+            print(f"gate: {label} differs between single-process and "
+                  f"{result['workers']}-worker runs -> REGRESSION")
+            ok = False
+        else:
+            print(f"gate: {label} identical across "
+                  f"{result['workers']}-worker partition -> ok")
+    speedup = result["speedup"]
+    if result["cores"] >= result["workers"]:
+        if speedup < MIN_SPEEDUP:
+            print(f"gate: speedup {speedup}x at {result['workers']} workers "
+                  f"on {result['cores']} cores < {MIN_SPEEDUP}x "
+                  "-> REGRESSION")
+            ok = False
+        else:
+            print(f"gate: speedup {speedup}x at {result['workers']} workers "
+                  f">= {MIN_SPEEDUP}x -> ok")
+    else:
+        print(f"gate: speedup {speedup}x informational only "
+              f"({result['cores']} usable cores < {result['workers']} "
+              "workers; determinism gates still enforced)")
+    return ok
+
+
+def test_parallel(benchmark):
+    result = benchmark.pedantic(run, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    emit(result)
+    assert check_gate(result)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="short CI-smoke run")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 unless the parallel run matches the "
+                             "single-process run and (with enough cores) "
+                             f"reaches {MIN_SPEEDUP}x speedup")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="replace the carried baseline block with this "
+                             "run's numbers")
+    parser.add_argument("--workers", type=int, default=WORKERS,
+                        help=f"worker count for the partitioned run "
+                             f"(default {WORKERS})")
+    args = parser.parse_args()
+    result = run(quick=args.quick, workers=args.workers)
+    out = emit(result, rebaseline=args.rebaseline)
+    print(f"{'workers':>8} {'wall s':>8} {'events':>10} {'events/s':>10} "
+          f"{'achieved/s':>11}")
+    for row in result["runs"]:
+        print(f"{row['workers']:>8} {row['wall_seconds']:>8.3f} "
+              f"{row['kernel_events']:>10} {row['events_per_second']:>10} "
+              f"{row['achieved_rate']:>11.0f}")
+    print(f"speedup at {result['workers']} workers: {result['speedup']}x "
+          f"({result['cores']} usable cores)")
+    print(f"wrote {out}")
+    if args.check and not check_gate(result):
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

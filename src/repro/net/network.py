@@ -82,6 +82,13 @@ class Network:
         self.monitor = None  # optional NetworkMonitor
         #: optional CostLedger billing egress; set by build_deployment
         self.ledger = None
+        #: every RpcNode bound to this network, by name — the address book
+        #: the parallel bridge uses to route cross-worker messages
+        self.nodes: dict[str, object] = {}
+        #: installed by repro.par when this process is one worker of a
+        #: partitioned run; None (always, in single-process mode) keeps
+        #: every RPC on the unmodified local path
+        self.bridge = None
         self.bytes_transferred = 0
         self.messages_sent = 0
         self._obs = get_obs(sim)
@@ -219,35 +226,10 @@ class Network:
                             dst=dst.name, bytes=nbytes)
                 if tracer.enabled else NULL_SPAN)
         with span:
-            self.check_reachable(src, dst)
             start = self.sim.now
-            self.messages_sent += 1
-            self.bytes_transferred += nbytes
-            self._msg_counter.inc()
-            self._bytes_counter.inc(nbytes)
-            if self.ledger is not None and src is not dst:
-                # Billed once per transfer, before the chunk loop: egress
-                # dollars are identical with chunking on or off.
-                scope = ("intra_dc" if src.region == dst.region
-                         else "inter_region")
-                self.ledger.record_network(nbytes, scope)
-            if src is not dst:
-                chunk = self.chunk_bytes
-                if chunk > 0 and nbytes > chunk:
-                    first = True
-                    for piece in iter_chunks(nbytes, chunk):
-                        if not first:
-                            # The link was released between chunks: the
-                            # world may have changed under the transfer.
-                            self.check_reachable(src, dst)
-                        first = False
-                        yield from src.egress.transmit(piece)
-                        self._chunk_counter.inc()
-                else:
-                    yield from src.egress.transmit(nbytes)
-                latency = self.oneway_latency(src, dst)
-                if latency > 0:
-                    yield self.sim.timeout(latency)
+            latency = yield from self.send_to_wire(src, dst, nbytes)
+            if latency > 0:
+                yield self.sim.timeout(latency)
             # Destination may have died while the message was in flight.
             if dst.down:
                 raise HostDownError(
@@ -255,3 +237,39 @@ class Network:
             if self.monitor is not None:
                 self.monitor.record_transfer(src, dst, nbytes,
                                              self.sim.now - start)
+
+    def send_to_wire(self, src: Host, dst: Host, nbytes: int) -> Generator:
+        """The sender-side half of :meth:`transmit`: reachability check,
+        accounting, and egress serialization.  Returns the propagation
+        latency the message then spends in flight (computed *after* the
+        egress reservation completes, exactly as :meth:`transmit` always
+        did).  The parallel bridge (:mod:`repro.par.bridge`) runs this
+        locally on the sending worker and ships ``now + latency`` as the
+        deterministic arrival time on the destination worker."""
+        self.check_reachable(src, dst)
+        self.messages_sent += 1
+        self.bytes_transferred += nbytes
+        self._msg_counter.inc()
+        self._bytes_counter.inc(nbytes)
+        if self.ledger is not None and src is not dst:
+            # Billed once per transfer, before the chunk loop: egress
+            # dollars are identical with chunking on or off.
+            scope = ("intra_dc" if src.region == dst.region
+                     else "inter_region")
+            self.ledger.record_network(nbytes, scope)
+        if src is dst:
+            return 0.0
+        chunk = self.chunk_bytes
+        if chunk > 0 and nbytes > chunk:
+            first = True
+            for piece in iter_chunks(nbytes, chunk):
+                if not first:
+                    # The link was released between chunks: the
+                    # world may have changed under the transfer.
+                    self.check_reachable(src, dst)
+                first = False
+                yield from src.egress.transmit(piece)
+                self._chunk_counter.inc()
+        else:
+            yield from src.egress.transmit(nbytes)
+        return self.oneway_latency(src, dst)

@@ -1,0 +1,16 @@
+"""repro.par — multi-process sharded simulation (parallel kernel execution).
+
+Partitions a deployment into region groups, runs one
+:class:`~repro.sim.kernel.Simulator` per worker process, and
+synchronizes the workers with conservative lookahead pinned to the
+minimum cross-group WAN latency.  See ``run_parallel`` for the entry
+point and DESIGN.md "Parallel simulation" for the protocol and the
+determinism contract.
+"""
+
+from repro.par.partition import PartitionPlan
+from repro.par.bridge import WorkerBridge
+from repro.par.runner import ParallelResult, run_parallel
+
+__all__ = ["PartitionPlan", "WorkerBridge", "ParallelResult",
+           "run_parallel"]

@@ -1,0 +1,104 @@
+"""Region-group partitioning and the conservative-lookahead window.
+
+A worker owns *all* hosts whose region falls in its group: Tiera servers
+(every ``servers_per_region`` host), the Wiera/Zookeeper host, and
+client/cohort hosts — so a cohort is automatically pinned to the worker
+owning its home region, and intra-region traffic (the data-path bulk of
+the open-loop cells: client -> local replica of the owning shard) never
+crosses a process boundary.
+
+The lookahead window is the safety bound of the time-sync protocol: any
+message between hosts in *different* groups spends at least
+``lookahead`` seconds of propagation latency in flight (one-way
+topology latency + both NIC delays; runtime dynamics only ever add
+delay).  Workers therefore simulate ``[kW, (k+1)W)`` windows
+independently and exchange cross-group messages at each barrier — every
+message entering the wire inside a window arrives strictly after the
+barrier that ships it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Deterministic assignment of region groups to workers."""
+
+    workers: int
+    #: worker index -> regions it owns
+    groups: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def for_regions(cls, regions, workers: int) -> "PartitionPlan":
+        """Round-robin the declared region order over ``workers`` groups.
+
+        The same (regions, workers) input always yields the same plan —
+        every worker computes it independently and they must agree.
+        """
+        ordered = list(dict.fromkeys(regions))
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        if workers > len(ordered):
+            raise ValueError(
+                f"workers={workers} exceeds {len(ordered)} regions")
+        groups = [[] for _ in range(workers)]
+        for i, region in enumerate(ordered):
+            groups[i % workers].append(region)
+        return cls(workers=workers,
+                   groups=tuple(tuple(g) for g in groups))
+
+    @classmethod
+    def for_deployment(cls, dep, workers: int) -> "PartitionPlan":
+        """Plan over the deployment's declared regions, then verify every
+        host's region is covered (the Wiera host may live outside the
+        declared list via ``wiera_region=``)."""
+        regions = list(dep.regions)
+        for host in dep.network.hosts.values():
+            if host.region not in regions:
+                regions.append(host.region)
+        return cls.for_regions(regions, workers)
+
+    # -- ownership ---------------------------------------------------------
+    def owner_of_region(self, region: str) -> int:
+        for worker, group in enumerate(self.groups):
+            if region in group:
+                return worker
+        raise KeyError(f"region {region!r} not in any partition group")
+
+    def regions_of(self, worker: int) -> tuple[str, ...]:
+        return self.groups[worker]
+
+    # -- lookahead ---------------------------------------------------------
+    def lookahead(self, network) -> float:
+        """Minimum one-way latency between any two hosts in different
+        groups (dynamics excluded: injections only add delay, so the
+        static floor stays safe under latency spikes)."""
+        owner = {}
+        for group_idx, group in enumerate(self.groups):
+            for region in group:
+                owner[region] = group_idx
+        best = math.inf
+        hosts = list(network.hosts.values())
+        for i, a in enumerate(hosts):
+            wa = owner[a.region]
+            for b in hosts[i + 1:]:
+                if owner[b.region] == wa:
+                    continue
+                lat = min(
+                    network.oneway_latency(a, b, include_dynamics=False),
+                    network.oneway_latency(b, a, include_dynamics=False))
+                if lat < best:
+                    best = lat
+        if not math.isfinite(best):
+            # Single group (workers=1): no cross-group edge to bound; any
+            # window works, pick something that won't busy-loop barriers.
+            return 1.0
+        if best <= 0:
+            raise ValueError(
+                "cross-group latency floor is zero: two hosts in "
+                "different groups are co-located — repartition so they "
+                "share a worker")
+        return best

@@ -1,0 +1,348 @@
+"""Parallel execution driver: one Simulator per worker process.
+
+``run_parallel(build, duration, workers=N)`` partitions the deployment
+into region groups (:class:`~repro.par.partition.PartitionPlan`), forks
+one worker per group, and advances the workers in conservative-lookahead
+windows: each worker runs its simulator ``window`` sim-seconds (the
+minimum cross-group WAN latency), then all workers exchange the
+cross-group messages their bridges collected (:class:`~repro.par.
+bridge.WorkerBridge`) and continue.  Because every cross-group message
+spends at least ``window`` in flight, nothing exchanged at a barrier can
+arrive inside an already-simulated window — so each worker's event order
+is exactly what a single-process run would produce for its partition.
+
+The deployment is built once in the parent and inherited by forked
+workers: every process holds a bit-identical replica (SPMD), masked by
+the bridge so only owned-region components actually run.  Workers ship
+back their owned cohorts' reports, their owned partition's store rows,
+and a metrics dump; the parent merges them into one report whose store
+digest, conservation counters, and acked-write digest equal the
+single-process run's (the determinism contract — see DESIGN.md
+"Parallel simulation").
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.bench.harness import Deployment, rows_digest
+from repro.load.engine import aggregate_reports
+from repro.obs.metrics import MetricsRegistry
+from repro.par.bridge import WorkerBridge
+from repro.par.partition import PartitionPlan
+from repro.util.stats import OnlineStats
+
+
+@dataclass
+class ParallelResult:
+    """One parallel (or single-process) run, merged."""
+
+    workers: int
+    #: the conservative-lookahead window used (0.0 when workers=1)
+    window: float
+    duration: float
+    grace: float
+    #: aggregate load report (:func:`repro.load.engine.aggregate_reports`)
+    report: dict
+    #: canonical converged-state digest (:meth:`Deployment.store_digest`)
+    store_digest: str
+    #: merged metrics (the parent deployment's registry, after merge)
+    metrics: MetricsRegistry
+    #: the parent's deployment replica (holds the merged metrics; its
+    #: simulator clock never advanced past construction when workers>1)
+    dep: Deployment
+    #: wall-clock seconds of the measured run (construction excluded)
+    wall_seconds: float
+    #: kernel events processed, summed across workers
+    events_processed: int
+    per_worker: list = field(default_factory=list)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events_processed / max(self.wall_seconds, 1e-12)
+
+
+def run_parallel(build: Callable[[], Deployment], duration: float,
+                 workers: Optional[int] = None, grace: float = 0.0,
+                 window: Optional[float] = None,
+                 namespaces: Optional[Sequence[str]] = None,
+                 ) -> ParallelResult:
+    """Build a deployment and run its load engine for ``duration``
+    sim-seconds across ``workers`` processes.
+
+    ``build`` must construct the deployment *and* its cohorts
+    (``dep.add_cohort``) without starting them; ``workers`` defaults to
+    the deployment's own ``workers=`` setting.  ``window`` overrides the
+    computed lookahead (only smaller-than-lookahead values are safe —
+    meant for tests).  ``grace`` drains in-flight stragglers after the
+    measurement window, exactly like :meth:`LoadEngine.run`.
+    """
+    dep = build()
+    n = workers if workers is not None else dep.workers
+    if n < 1:
+        raise ValueError(f"workers must be >= 1: {n}")
+    if dep.load is None or len(dep.load) == 0:
+        raise ValueError("run_parallel needs cohorts: build() must call "
+                         "dep.add_cohort(...)")
+    if n == 1:
+        return _run_single(dep, duration, grace, namespaces)
+    plan = PartitionPlan.for_deployment(dep, n)
+    lookahead = plan.lookahead(dep.network)
+    win = window if window is not None else lookahead
+    if win > lookahead:
+        raise ValueError(f"window {win} exceeds the safe lookahead "
+                         f"{lookahead}")
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise RuntimeError(
+            "run_parallel(workers>1) needs the fork start method: workers "
+            "inherit the constructed deployment (spawn would have to "
+            "pickle live simulators)")
+    ctx = multiprocessing.get_context("fork")
+    conns, procs = [], []
+    for wid in range(n):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, dep, plan, wid, duration, grace, win,
+                  namespaces),
+            name=f"repro-par-{wid}")
+        proc.start()
+        child_conn.close()
+        conns.append(parent_conn)
+        procs.append(proc)
+    try:
+        for wid, conn in enumerate(conns):
+            msg = _recv(conn, wid, procs)
+            if msg != ("ready", wid):
+                raise RuntimeError(f"worker {wid}: bad handshake {msg!r}")
+        # Wall clock starts after every worker is set up, so the speedup
+        # measurement covers simulation, not fork/bootstrap overhead.
+        wall_start = time.perf_counter()
+        for conn in conns:
+            conn.send("go")
+        payloads = _coordinate(conns, procs)
+        wall = time.perf_counter() - wall_start
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+    return _merge(dep, plan, payloads, duration, grace, win, wall)
+
+
+# -- single-process path (the workers=1 contract: run exactly what the
+# -- load engine would run, so results are bit-identical to dep.load.run)
+def _run_single(dep: Deployment, duration: float, grace: float,
+                namespaces) -> ParallelResult:
+    wall_start = time.perf_counter()
+    report = dep.load.run(duration, grace=grace)
+    wall = time.perf_counter() - wall_start
+    return ParallelResult(
+        workers=1, window=0.0, duration=duration, grace=grace,
+        report=report,
+        store_digest=dep.store_digest(namespaces=namespaces),
+        metrics=dep.obs.metrics, dep=dep, wall_seconds=wall,
+        events_processed=dep.sim.events_processed,
+        per_worker=[{"worker": 0, "regions": tuple(dep.regions),
+                     "events": dep.sim.events_processed,
+                     "now": dep.sim.now,
+                     "bridged": {"calls": 0, "oneways": 0, "served": 0}}])
+
+
+# -- worker side ------------------------------------------------------------
+def _worker_main(conn, dep: Deployment, plan: PartitionPlan, wid: int,
+                 duration: float, grace: float, window: float,
+                 namespaces) -> None:
+    try:
+        bridge = WorkerBridge(dep, plan, wid)
+        bridge.install()
+        owned = [c for c in dep.load
+                 if plan.owner_of_region(c.spec.region) == wid]
+        conn.send(("ready", wid))
+        if conn.recv() != "go":
+            raise RuntimeError("coordinator handshake failed")
+        sim = dep.sim
+        t0 = sim.now
+        t_end = t0 + duration
+        t_final = t_end + grace
+        for cohort in owned:
+            cohort.start()
+        # Every worker computes the identical barrier schedule (same t0,
+        # duration, grace, window), so the lock-step exchange below never
+        # mismatches.  Windows clamp to hit t_end and t_final exactly;
+        # smaller-than-lookahead windows are always safe.
+        t = t0
+        reports = None
+        while True:
+            boundary = t_end if t < t_end else t_final
+            t = min(t + window, boundary)
+            sim.run(until=t)
+            if t == t_end and reports is None:
+                # Every cross-group message with arrival <= t_end was
+                # exchanged at an earlier barrier (arrivals strictly
+                # exceed their shipping barrier) and has been processed,
+                # so this snapshot sees exactly the single-process
+                # measurement window.
+                for cohort in owned:
+                    cohort.stop()
+                reports = [cohort.report() for cohort in owned]
+            conn.send(("barrier", bridge.take_outboxes()))
+            bridge.inject(conn.recv())
+            if t >= t_final:
+                # Entries injected at the final barrier can arrive at
+                # exactly t_final; single-process run(until=t_final)
+                # processes those, so we must too.
+                sim.run(until=t_final)
+                break
+        conn.send(("done", {
+            "worker": wid,
+            "regions": plan.regions_of(wid),
+            "cohorts": reports,
+            "users": sum(c.spec.users for c in owned),
+            "rows": dep.store_rows(namespaces=namespaces, detail=True,
+                                   host_filter=bridge.owns),
+            "metrics_end": dep.obs.metrics.dump_state(),
+            "events": sim.events_processed,
+            "now": sim.now,
+            "t0": t0,
+            "bridged": {"calls": bridge.calls_bridged,
+                        "oneways": bridge.oneways_bridged,
+                        "served": bridge.served},
+        }))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            raise
+
+
+# -- parent side ------------------------------------------------------------
+def _recv(conn, wid: int, procs):
+    try:
+        msg = conn.recv()
+    except EOFError:
+        code = procs[wid].exitcode
+        raise RuntimeError(
+            f"worker {wid} died without reporting (exit code {code})")
+    if isinstance(msg, tuple) and msg and msg[0] == "error":
+        raise RuntimeError(f"worker {wid} failed:\n{msg[1]}")
+    return msg
+
+
+def _coordinate(conns, procs) -> list[dict]:
+    """Drive the lock-step barrier protocol until every worker is done."""
+    n = len(conns)
+    while True:
+        msgs = [_recv(conn, wid, procs) for wid, conn in enumerate(conns)]
+        kinds = {m[0] for m in msgs}
+        if kinds == {"done"}:
+            return [m[1] for m in msgs]
+        if kinds != {"barrier"}:
+            raise RuntimeError(
+                f"barrier protocol desync: workers sent {sorted(kinds)}")
+        inboxes = [[] for _ in range(n)]
+        for m in msgs:
+            for dest, entries in m[1].items():
+                inboxes[dest].extend(entries)
+        for conn, box in zip(conns, inboxes):
+            conn.send(box)
+
+
+def _merge(dep: Deployment, plan: PartitionPlan, payloads: list[dict],
+           duration: float, grace: float, window: float,
+           wall: float) -> ParallelResult:
+    """Fold per-worker payloads into one run-equivalent result.
+
+    The parent's deployment replica never ran, so its registry still
+    holds the exact shared post-construction baseline every worker
+    started from: merged metrics = baseline + sum of per-worker deltas.
+    """
+    cohorts = sorted((c for p in payloads for c in p["cohorts"]),
+                     key=lambda c: c["cohort"])
+    report = aggregate_reports(cohorts,
+                               sum(p["users"] for p in payloads),
+                               duration)
+    rows = [row for p in payloads for row in p["rows"]]
+    registry = dep.obs.metrics
+    base = {(kind, name, labels): state
+            for kind, name, labels, state in registry.dump_state()}
+    t0 = payloads[0]["t0"]
+    for payload in payloads:
+        _apply_worker_delta(registry, base, payload["metrics_end"], t0)
+    return ParallelResult(
+        workers=plan.workers, window=window, duration=duration,
+        grace=grace, report=report, store_digest=rows_digest(rows),
+        metrics=registry, dep=dep, wall_seconds=wall,
+        events_processed=sum(p["events"] for p in payloads),
+        per_worker=[{k: p[k] for k in
+                     ("worker", "regions", "events", "now", "bridged")}
+                    for p in payloads])
+
+
+def _apply_worker_delta(registry: MetricsRegistry, base: dict,
+                        end_rows: list[tuple], t0: float) -> None:
+    """Add one worker's (end - shared baseline) onto the merge registry.
+
+    Counters/gauges subtract numerically; histogram aggregates subtract
+    by reversing the Chan combine (exact for count/mean/m2; min/max use
+    the worker's end bounds, which is exact for the *merged* extremes
+    because every sample lives in some worker's end state); ring samples
+    taken from a worker are those observed after the fork point ``t0``
+    (baseline samples are already present in the merge registry).
+    """
+    for kind, name, labels, state in end_rows:
+        base_state = base.get((kind, name, labels))
+        label_kw = dict(labels)
+        if kind == "counter":
+            delta = state - (base_state or 0)
+            if delta:
+                registry.counter(name, **label_kw).inc(delta)
+        elif kind == "gauge":
+            delta = state - (base_state if base_state is not None else 0.0)
+            if delta:
+                registry.gauge(name, **label_kw).add(delta)
+        else:
+            hist = registry.histogram(name, maxlen=state["maxlen"] or 2048,
+                                      **label_kw)
+            delta_stats = _stats_delta(
+                base_state["stats"] if base_state else None, state["stats"])
+            if delta_stats.count:
+                hist.stats.merge(delta_stats)
+            fresh = [tv for tv in state["ring"] if tv[0] > t0]
+            if fresh:
+                merged = sorted(list(hist._ring) + fresh,
+                                key=lambda tv: tv[0])
+                maxlen = hist._ring.maxlen
+                hist._ring.clear()
+                hist._ring.extend(merged[-maxlen:] if maxlen else merged)
+
+
+def _stats_delta(base: Optional[OnlineStats],
+                 end: OnlineStats) -> OnlineStats:
+    """The accumulator of samples in ``end`` but not ``base`` (reverse of
+    :meth:`OnlineStats.merge`), with ``end``'s min/max bounds."""
+    out = OnlineStats()
+    n1 = base.count if base is not None else 0
+    n2 = end.count - n1
+    if n2 <= 0:
+        return out
+    if n1 == 0:
+        out.count = end.count
+        out._mean = end._mean
+        out._m2 = end._m2
+        out.min = end.min
+        out.max = end.max
+        return out
+    mean2 = (end.count * end._mean - n1 * base._mean) / n2
+    delta = mean2 - base._mean
+    out.count = n2
+    out._mean = mean2
+    out._m2 = max(end._m2 - base._m2 - delta * delta * n1 * n2 / end.count,
+                  0.0)
+    out.min = end.min
+    out.max = end.max
+    return out

@@ -759,15 +759,24 @@ class TieraInstance:
         self._notify_latency("remove", self.sim.now - start, origin)
         return result
 
-    def rpc_digest(self, msg: Message) -> Generator:
-        """Anti-entropy digest: latest (version, last_modified) per key."""
-        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+    def key_state(self) -> dict[str, tuple[int, float]]:
+        """Latest ``(version, last_modified)`` per key, in zero sim-time.
+
+        The shared walk behind the anti-entropy digest RPC and the
+        harness's canonical store rows
+        (:meth:`repro.bench.harness.Deployment.store_rows`).
+        """
         keys = {}
         for record in self.meta.records():
             meta = record.latest()
             if meta is not None:
                 keys[record.key] = (meta.version, meta.last_modified)
-        return {"keys": keys, "instance": self.instance_id}
+        return keys
+
+    def rpc_digest(self, msg: Message) -> Generator:
+        """Anti-entropy digest: latest (version, last_modified) per key."""
+        yield self.sim.timeout(METADATA_WRITE_LATENCY)
+        return {"keys": self.key_state(), "instance": self.instance_id}
 
     def rpc_check_readable(self, msg: Message) -> Generator:
         """Readability probe for specific (key, version) pairs.

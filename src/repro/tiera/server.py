@@ -27,7 +27,8 @@ class TieraServer:
 
     def __init__(self, sim: Simulator, network: Network, host: Host,
                  region: str, provider: str = "aws",
-                 rng: Optional[RngRegistry] = None, ledger=None):
+                 rng: Optional[RngRegistry] = None, ledger=None,
+                 server_id: Optional[str] = None):
         self.sim = sim
         self.network = network
         self.host = host
@@ -35,7 +36,12 @@ class TieraServer:
         self.provider = provider
         self.rng = rng or RngRegistry(0)
         self.ledger = ledger
-        self.server_id = f"tsrv-{region}-{next(self._ids)}"
+        # Callers that need build-to-build determinism (the harness, so
+        # two identical build_deployment() calls in one process place
+        # shards identically — a requirement of the parallel equivalence
+        # contract) pass an explicit id; the process-global counter is
+        # only a convenience fallback for ad-hoc constructions.
+        self.server_id = server_id or f"tsrv-{region}-{next(self._ids)}"
         self.node = RpcNode(sim, network, host, name=self.server_id)
         self.instances: dict[str, TieraInstance] = {}
         self.tsm_node: Optional[RpcNode] = None

@@ -16,7 +16,6 @@ optimized kernel reproduces it bit-for-bit.  Regenerate only when the
 
 from __future__ import annotations
 
-import hashlib
 import json
 import pathlib
 
@@ -47,21 +46,33 @@ PINNED_METRICS = (
 
 
 def _store_digest(dep, shard_map) -> str:
-    """sha256 over the sorted (shard, instance, key, latest_version) state."""
-    rows = []
-    for sid in sorted(shard_map.shards):
-        tim = dep.wiera.tim(sid)
-        for iid in sorted(tim.instances):
-            rec = tim.instances[iid]
-            for record in sorted(rec.instance.meta.records(),
-                                 key=lambda r: r.key):
-                rows.append(f"{sid}/{iid}/{record.key}"
-                            f"=v{record.latest_version}")
-    return hashlib.sha256("\n".join(rows).encode()).hexdigest()
+    """The canonical store digest in the fixture's historical framing:
+    version-only rows (detail=False) in nested shard/instance/key order
+    (sort=False), exactly the byte stream the fixture was captured from."""
+    return dep.store_digest(namespaces=sorted(shard_map.shards),
+                            detail=False, sort=False)
 
 
-def golden_run() -> dict:
-    """The reference chaos run; returns the observable fingerprint."""
+def _advance(sim, until: float, window) -> None:
+    """Advance to ``until`` — in one ``run`` call, or in bounded
+    ``run(until=...)`` windows of at most ``window`` sim-seconds (the
+    parallel runner's stepping mode, which must be event-for-event
+    identical to one big run)."""
+    if window is None:
+        sim.run(until=until)
+        return
+    t = sim.now
+    while t < until:
+        t = min(t + window, until)
+        sim.run(until=t)
+
+
+def golden_run(window=None) -> dict:
+    """The reference chaos run; returns the observable fingerprint.
+
+    ``window`` switches every simulation advance to small bounded
+    ``run(until=...)`` steps; the fingerprint must not change.
+    """
     dep = build_deployment([US_EAST, US_WEST], seed=29, shards=4)
     spec = GlobalPolicySpec(
         name="gold",
@@ -94,10 +105,10 @@ def golden_run() -> dict:
     schedule.start()
     for driver in drivers:
         driver.start()
-    dep.sim.run(until=dep.sim.now + 20.0)
+    _advance(dep.sim, dep.sim.now + 20.0, window)
     for driver in drivers:
         driver.stop()
-    dep.sim.run(until=dep.sim.now + 10.0)   # replication settles
+    _advance(dep.sim, dep.sim.now + 10.0, window)   # replication settles
 
     latencies = {}
     for i, driver in enumerate(drivers):

@@ -1,0 +1,264 @@
+"""Tests for repro.par: partitioning, the bridge, and run equivalence.
+
+The determinism contract under test (DESIGN.md "Parallel simulation"):
+``workers=1`` runs exactly the single-process path; ``workers=N``
+produces the identical final store digest, acked-write digest, and
+open-loop conservation counters; construction order never leaks into
+RNG draws or placements.
+"""
+
+import pickle
+
+import pytest
+
+from repro.bench.harness import build_deployment, rows_digest
+from repro.bench.openloop import PAR_REGIONS, parallel_cell_builder
+from repro.net.topology import ASIA_EAST, EU_WEST, US_EAST, US_WEST
+from repro.par import PartitionPlan, WorkerBridge, run_parallel
+from repro.par.runner import _stats_delta
+from repro.shard.map import WrongShardError
+from repro.util.stats import OnlineStats
+
+ALL = (US_EAST, US_WEST, EU_WEST, ASIA_EAST)
+
+
+class TestPartitionPlan:
+    def test_round_robin_groups(self):
+        plan = PartitionPlan.for_regions(ALL, 2)
+        assert plan.groups == ((US_EAST, EU_WEST), (US_WEST, ASIA_EAST))
+        assert plan.owner_of_region(EU_WEST) == 0
+        assert plan.owner_of_region(ASIA_EAST) == 1
+        assert plan.regions_of(1) == (US_WEST, ASIA_EAST)
+
+    def test_one_region_per_worker(self):
+        plan = PartitionPlan.for_regions(ALL, 4)
+        assert plan.groups == tuple((r,) for r in ALL)
+
+    def test_duplicate_regions_collapse(self):
+        plan = PartitionPlan.for_regions((US_EAST, US_WEST, US_EAST), 2)
+        assert plan.groups == ((US_EAST,), (US_WEST,))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionPlan.for_regions(ALL, 0)
+        with pytest.raises(ValueError):
+            PartitionPlan.for_regions((US_EAST,), 2)
+        with pytest.raises(KeyError):
+            PartitionPlan.for_regions((US_EAST,), 1).owner_of_region("mars")
+
+    def test_lookahead_is_min_cross_group_latency(self):
+        dep = build_deployment([US_EAST, US_WEST])
+        plan = PartitionPlan.for_deployment(dep, 2)
+        window = plan.lookahead(dep.network)
+        hosts = list(dep.network.hosts.values())
+        floor = min(
+            dep.network.oneway_latency(a, b, include_dynamics=False)
+            for a in hosts for b in hosts
+            if plan.owner_of_region(a.region)
+            != plan.owner_of_region(b.region))
+        assert window == floor > 0
+
+    def test_single_group_lookahead_is_finite(self):
+        dep = build_deployment([US_EAST])
+        plan = PartitionPlan.for_deployment(dep, 1)
+        assert plan.lookahead(dep.network) > 0
+
+    def test_plan_covers_wiera_host_region(self):
+        # wiera_region outside the declared region list still gets owned
+        dep = build_deployment([US_WEST, EU_WEST], wiera_region=US_EAST)
+        plan = PartitionPlan.for_deployment(dep, 2)
+        assert plan.owner_of_region(US_EAST) in (0, 1)
+
+
+class TestBridgeGuards:
+    def test_install_rejects_tracing(self):
+        dep = build_deployment([US_EAST, US_WEST], with_tracing=True)
+        plan = PartitionPlan.for_deployment(dep, 2)
+        with pytest.raises(RuntimeError, match="tracing"):
+            WorkerBridge(dep, plan, 0).install()
+
+    def test_install_is_exclusive(self):
+        dep = build_deployment([US_EAST, US_WEST])
+        plan = PartitionPlan.for_deployment(dep, 2)
+        WorkerBridge(dep, plan, 0).install()
+        with pytest.raises(RuntimeError, match="already installed"):
+            WorkerBridge(dep, plan, 1).install()
+
+    def test_inject_rejects_lookahead_violation(self):
+        dep = build_deployment([US_EAST, US_WEST])
+        plan = PartitionPlan.for_deployment(dep, 2)
+        bridge = WorkerBridge(dep, plan, 0)
+        bridge.install()
+        dep.sim.run(until=1.0)
+        entry = ("oneway", 0, 1, 0.5, "a", "b", "m", {}, 256, 0.4, None)
+        with pytest.raises(RuntimeError, match="lookahead violation"):
+            bridge.inject([entry])
+
+    def test_wrong_shard_error_pickles_whole(self):
+        err = WrongShardError("k moved", key="k", owner="ns-s3", epoch=7)
+        clone = pickle.loads(pickle.dumps(err))
+        assert (clone.key, clone.owner, clone.epoch) == ("k", "ns-s3", 7)
+        assert str(clone) == str(err)
+
+
+class TestStatsDelta:
+    def test_reverse_chan_recovers_suffix(self):
+        base, end = OnlineStats(), OnlineStats()
+        older = [0.5, 1.5, 2.5, 0.25]
+        newer = [3.0, 0.125, 9.0]
+        for x in older:
+            base.add(x)
+            end.add(x)
+        for x in newer:
+            end.add(x)
+        delta = _stats_delta(base, end)
+        assert delta.count == len(newer)
+        assert delta.mean == pytest.approx(sum(newer) / len(newer))
+        want = OnlineStats()
+        for x in newer:
+            want.add(x)
+        assert delta._m2 == pytest.approx(want._m2)
+
+    def test_empty_base_is_identity(self):
+        end = OnlineStats()
+        for x in (1.0, 2.0):
+            end.add(x)
+        delta = _stats_delta(None, end)
+        assert (delta.count, delta.mean, delta.min, delta.max) == \
+            (2, 1.5, 1.0, 2.0)
+
+    def test_no_new_samples(self):
+        stats = OnlineStats()
+        stats.add(1.0)
+        assert _stats_delta(stats, stats).count == 0
+
+
+class TestRunParallelValidation:
+    def test_needs_cohorts(self):
+        with pytest.raises(ValueError, match="cohorts"):
+            run_parallel(lambda: build_deployment([US_EAST]), duration=1.0)
+
+    def test_window_cannot_exceed_lookahead(self):
+        build = parallel_cell_builder(shards=1, offered_total=50.0,
+                                      workers=2,
+                                      regions=(US_EAST, US_WEST))
+        with pytest.raises(ValueError, match="lookahead"):
+            run_parallel(build, duration=0.5, workers=2, window=10.0)
+
+    def test_build_deployment_validates_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            build_deployment([US_EAST], workers=2)
+        with pytest.raises(ValueError, match="workers"):
+            build_deployment([US_EAST], workers=0)
+
+
+class TestEquivalence:
+    """The contract the bench gates on, at test scale."""
+
+    DURATION, GRACE = 1.5, 0.5
+
+    def _cell(self, workers):
+        return parallel_cell_builder(
+            shards=2, offered_total=400.0, workers=workers,
+            regions=(US_EAST, US_WEST))
+
+    def test_workers1_equals_plain_load_run(self):
+        build = self._cell(1)
+        dep = build()
+        want = dep.load.run(self.DURATION, grace=self.GRACE)
+        want_digest = dep.store_digest()
+        got = run_parallel(build, self.DURATION, workers=1,
+                           grace=self.GRACE)
+        assert got.store_digest == want_digest
+        assert got.report == want
+
+    def test_two_workers_match_single_process(self):
+        single = run_parallel(self._cell(1), self.DURATION, workers=1,
+                              grace=self.GRACE)
+        par = run_parallel(self._cell(2), self.DURATION, workers=2,
+                           grace=self.GRACE)
+        assert par.store_digest == single.store_digest
+        assert par.report["acked_digest"] == single.report["acked_digest"]
+        for key in ("offered", "achieved", "errors", "errors_by_type",
+                    "shed", "discarded", "cohorts", "modeled_users"):
+            assert par.report[key] == single.report[key], key
+        # real cross-worker traffic flowed (the test isn't vacuous)
+        assert sum(p["bridged"]["calls"] + p["bridged"]["oneways"]
+                   for p in par.per_worker) > 0
+        # workers ended on the same final clock
+        assert len({p["now"] for p in par.per_worker}) == 1
+
+    def test_merged_metrics_match_single_process(self):
+        single = run_parallel(self._cell(1), self.DURATION, workers=1,
+                              grace=self.GRACE)
+        par = run_parallel(self._cell(2), self.DURATION, workers=2,
+                           grace=self.GRACE)
+        for name in ("load.offered", "load.achieved", "load.shed",
+                     "rpc.requests_served", "net.messages",
+                     "net.bytes"):
+            assert (par.dep.metric_total(name)
+                    == single.dep.metric_total(name)), name
+
+    def test_four_regions_four_workers(self):
+        build = parallel_cell_builder(shards=2, offered_total=400.0,
+                                      workers=4, regions=PAR_REGIONS)
+        single = run_parallel(build, 1.0, workers=1, grace=0.5)
+        par = run_parallel(build, 1.0, workers=4, grace=0.5)
+        assert par.store_digest == single.store_digest
+        assert par.report["acked_digest"] == single.report["acked_digest"]
+        assert par.report["achieved"] == single.report["achieved"]
+
+    def test_smaller_window_is_also_safe(self):
+        build = self._cell(2)
+        single = run_parallel(build, 1.0, workers=1, grace=0.5)
+        par = run_parallel(build, 1.0, workers=2, grace=0.5,
+                           window=0.011)
+        assert par.store_digest == single.store_digest
+        assert par.report["achieved"] == single.report["achieved"]
+
+
+class TestConstructionOrderIndependence:
+    """RNG substreams derive from stable names, so neither cohort
+    creation order nor unrelated extra streams perturb any draws."""
+
+    def test_substreams_ignore_creation_order(self):
+        from repro.util.rng import RngRegistry
+        a = RngRegistry(7)
+        b = RngRegistry(7)
+        east_a = a.substream("load.cohort", "east")
+        a.substream("load.cohort", "west")          # created before...
+        west_b = b.substream("load.cohort", "west")  # ...and after
+        b.stream("unrelated.noise")
+        east_b = b.substream("load.cohort", "east")
+        assert east_a.random(5).tolist() == east_b.random(5).tolist()
+        assert (a.substream("load.cohort", "west").random(5).tolist()
+                == west_b.random(5).tolist())
+
+    def test_cohort_order_leaves_store_state_identical(self):
+        digests = []
+        for flip in (False, True):
+            regions = ((US_WEST, US_EAST) if flip
+                       else (US_EAST, US_WEST))
+            # Same deployment (declared region order fixed); only the
+            # cohort *creation* order flips.
+            build = parallel_cell_builder(shards=2, offered_total=300.0,
+                                          workers=1,
+                                          regions=(US_EAST, US_WEST))
+            dep = build()
+            dep.load.cohorts.sort(
+                key=lambda c: regions.index(c.spec.region))
+            dep.load.run(1.0, grace=0.5)
+            digests.append(dep.store_digest())
+        assert digests[0] == digests[1]
+
+    def test_repeat_build_in_one_process_is_identical(self):
+        """Two identical builds in one interpreter must place shards and
+        name servers identically (deployment-scoped server ids) — the
+        property the fork-based runner and the bench's
+        single-then-parallel comparison both rest on."""
+        def ids(dep):
+            return sorted(s.server_id for s in dep.servers.values())
+        d1 = build_deployment([US_EAST, US_WEST], servers_per_region=2)
+        d2 = build_deployment([US_EAST, US_WEST], servers_per_region=2)
+        assert ids(d1) == ids(d2)
+        assert rows_digest(d1.store_rows()) == rows_digest(d2.store_rows())
