@@ -228,6 +228,12 @@ class RedundancySpec:
     write_budget: float = 1.0
     #: fragment-repair loop period; None disables background repair
     repair_interval: Optional[float] = None
+    #: repair pipeline window: objects repaired in flight per round.
+    #: 1 (the default) keeps the serial seed repairer — one object fully
+    #: probed, fetched, rebuilt, and re-pushed before the next begins —
+    #: and is golden-pinned bit-identical.  >1 switches to the batched
+    #: scanner + holder-local reconstruction pipeline (repro.ec.repair).
+    repair_concurrency: int = 1
     #: (key-prefix, k, m) scheme overrides installed at launch
     overrides: tuple[tuple[str, int, int], ...] = ()
     #: (k, m) candidates the optimizer prices against each other
@@ -252,6 +258,9 @@ class RedundancySpec:
         if self.repair_interval is not None and self.repair_interval <= 0:
             raise ValueError(
                 f"repair_interval must be positive: {self.repair_interval}")
+        if self.repair_concurrency < 1:
+            raise ValueError(
+                f"repair_concurrency must be >= 1: {self.repair_concurrency}")
 
 
 @dataclass(frozen=True)

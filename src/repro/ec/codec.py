@@ -105,6 +105,41 @@ def _invert(matrix: list[list[int]]) -> list[list[int]]:
     return [row[k:] for row in aug]
 
 
+#: cached inverted decode matrices keyed by ``(k, n, available-index
+#: tuple)``.  Repair after a site crash decodes *many* objects under the
+#: same erasure pattern, so the O(k^3) Gauss-Jordan runs once per
+#: pattern instead of once per object.  Bounded: a pathological churn of
+#: patterns clears the cache rather than growing it without limit.
+_INV_CACHE: dict[tuple[int, int, tuple[int, ...]], list[list[int]]] = {}
+_INV_CACHE_MAX = 1024
+
+#: cache telemetry (read by tests and the repair benchmark)
+_inv_cache_stats = {"hits": 0, "misses": 0}
+
+
+def decode_matrix(k: int, n: int,
+                  pick: tuple[int, ...]) -> list[list[int]]:
+    """Inverse of the generator rows selected by ``pick``, cached.
+
+    ``pick`` must be a sorted tuple of ``k`` distinct fragment indices in
+    ``[0, n)`` — the fragments actually used for decoding.
+    """
+    key = (k, n, pick)
+    inverse = _INV_CACHE.get(key)
+    if inverse is None:
+        _inv_cache_stats["misses"] += 1
+        cauchy = parity_matrix(k, n - k)
+        rows = [([1 if j == i else 0 for j in range(k)] if i < k
+                 else cauchy[i - k]) for i in pick]
+        inverse = _invert(rows)
+        if len(_INV_CACHE) >= _INV_CACHE_MAX:
+            _INV_CACHE.clear()
+        _INV_CACHE[key] = inverse
+    else:
+        _inv_cache_stats["hits"] += 1
+    return inverse
+
+
 def _combine(rows: list[tuple[int, bytes]], length: int) -> bytes:
     """sum(coeff * frag) over GF(256) for (coeff, frag) pairs."""
     acc = bytes(length)
@@ -173,11 +208,7 @@ class Codec:
                     f"expected {length}")
         if pick == list(range(k)):
             return b"".join(fragments[i] for i in pick)[:size]
-        m = n - k
-        cauchy = parity_matrix(k, m)
-        rows = [([1 if j == i else 0 for j in range(k)] if i < k
-                 else cauchy[i - k]) for i in pick]
-        inverse = _invert(rows)
+        inverse = decode_matrix(k, n, tuple(pick))
         shards = [_combine([(inverse[j][c], fragments[pick[c]])
                             for c in range(k)], length)
                   for j in range(k)]
@@ -186,6 +217,42 @@ class Codec:
     @staticmethod
     def rebuild(fragments: dict[int, bytes], k: int, n: int, size: int,
                 missing: int) -> bytes:
-        """Reconstruct one lost fragment from any ``k`` survivors."""
-        data = Codec.decode(fragments, k, n, size)
-        return Codec.encode(data, k, n)[missing]
+        """Reconstruct one lost fragment from any ``k`` survivors.
+
+        Target-row fast path: with ``g`` the missing fragment's generator
+        row and ``A`` the selected survivor rows, the rebuilt fragment is
+        ``(g · A⁻¹) · picked`` — one :func:`_combine` pass over ``k``
+        fragments, instead of a full decode (``k`` combines) followed by
+        a full re-encode (``n - k`` more).  ``A⁻¹`` rides the
+        :func:`decode_matrix` cache, so repeated erasure patterns skip
+        the O(k³) inversion entirely.
+        """
+        _validate(k, n)
+        if not 0 <= missing < n:
+            raise ValueError(f"missing index {missing} outside [0, {n})")
+        present = sorted(i for i in fragments if 0 <= i < n and i != missing)
+        if len(present) < k:
+            raise ValueError(
+                f"need {k} fragments to rebuild, have {len(present)}")
+        pick = present[:k]
+        length = Codec.fragment_length(size, k)
+        for i in pick:
+            if len(fragments[i]) != length:
+                raise ValueError(
+                    f"fragment {i} is {len(fragments[i])} bytes, "
+                    f"expected {length}")
+        inverse = decode_matrix(k, n, tuple(pick))
+        if missing < k:
+            coeffs = inverse[missing]
+        else:
+            g = parity_matrix(k, n - k)[missing - k]
+            coeffs = [0] * k
+            for i in range(k):
+                gi = g[i]
+                if gi == 0:
+                    continue
+                row = inverse[i]
+                for j in range(k):
+                    coeffs[j] ^= gf_mul(gi, row[j])
+        return _combine([(coeffs[j], fragments[pick[j]])
+                         for j in range(k)], length)

@@ -29,6 +29,7 @@ by :class:`~repro.ec.repair.ECRepairer`.
 from __future__ import annotations
 
 import json
+from collections import deque
 from typing import Generator, Optional
 
 from repro.core.consistency.base import GlobalProtocol, ProtocolError
@@ -122,8 +123,9 @@ class ECProtocol(GlobalProtocol):
                     "ec.manifest_push_failures"),
             }
         if self.spec.repair_interval is not None:
-            repairer = self._repairer_cls(instance, self,
-                                          self.spec.repair_interval)
+            repairer = self._repairer_cls(
+                instance, self, self.spec.repair_interval,
+                concurrency=getattr(self.spec, "repair_concurrency", 1))
             self._repairers[instance.instance_id] = repairer
             repairer.start()
 
@@ -131,6 +133,10 @@ class ECProtocol(GlobalProtocol):
         repairer = self._repairers.pop(instance.instance_id, None)
         if repairer is not None:
             repairer.stop()
+
+    def repairer(self, instance_id: str):
+        """The repair loop attached for ``instance_id`` (None if absent)."""
+        return self._repairers.get(instance_id)
 
     def _count(self, name: str, value: int = 1) -> None:
         if self._metrics is not None:
@@ -207,12 +213,12 @@ class ECProtocol(GlobalProtocol):
 
         # Degraded write: substitute unreachable holders with further live
         # ring members so the full fragment count is still established.
-        spares = [(iid, peer) for iid, peer in ring[n:]
-                  if iid not in frag_map.values()]
+        spares = deque((iid, peer) for iid, peer in ring[n:]
+                       if iid not in frag_map.values())
         substituted = False
         for idx in list(failed):
             while spares:
-                iid, peer = spares.pop(0)
+                iid, peer = spares.popleft()
                 try:
                     results = yield instance.node.call_batch(
                         peer.node,
@@ -390,6 +396,136 @@ class ECProtocol(GlobalProtocol):
         raise ObjectMissingError(
             f"{instance.instance_id}: no reachable manifest for {key!r}"
         ) from last_error
+
+    # -- repair data plane -------------------------------------------------
+    def on_reconstruct_fragment(self, instance, args: dict) -> Generator:
+        """Holder-local reconstruction: rebuild fragment ``index`` *here*.
+
+        The repair leader names the surviving ``sources``; this instance
+        pulls only the fragments it does not already hold (nearest-first,
+        first wave in parallel), runs the codec's target-row
+        :meth:`~repro.ec.codec.Codec.rebuild`, and installs the result
+        locally — the fragment bytes never transit the leader.  Refuses
+        with ``superseded`` when a racing write already advanced the
+        manifest past ``version``, so a slow repair cannot resurrect a
+        stale fragment.
+        """
+        key, version = args["key"], args["version"]
+        k, m, size = args["k"], args["m"], args["size"]
+        index = args["index"]
+        n = k + m
+        record = instance.meta.get_record(key)
+        if record is not None and record.latest_version > version:
+            return {"ok": False, "reason": "superseded"}
+
+        fraglen = Codec.fragment_length(size, k)
+        available: dict[int, bytes] = {}
+        pulled = 0
+        remote: list[tuple[int, str]] = []
+        for idx, holder in args["sources"]:
+            idx = int(idx)
+            if idx == index:
+                continue
+            if holder == instance.instance_id:
+                try:
+                    frag, _, _ = yield from instance.read_version(
+                        fragment_key(key, idx), version, run_rules=False)
+                    available[idx] = frag
+                except Exception:
+                    pass
+            else:
+                remote.append((idx, holder))
+
+        rank = {iid: pos for pos, (iid, _) in enumerate(self.ring(instance))}
+        remote.sort(key=lambda e: (rank.get(e[1], len(rank)), e[0]))
+        need = max(k - len(available), 0)
+        calls = []
+        for idx, holder in remote[:need]:
+            peer = instance.peers.get(holder)
+            if peer is None:
+                continue
+            call = instance.node.call(
+                peer.node, "peer_get",
+                {"key": fragment_key(key, idx), "version": version},
+                reply_size=fraglen + 512)
+            call.defuse()
+            calls.append((idx, call))
+        for idx, call in calls:
+            try:
+                res = yield call
+                available[idx] = res["data"]
+                pulled += len(res["data"])
+            except Exception:
+                continue
+        cursor = need
+        while len(available) < k and cursor < len(remote):
+            idx, holder = remote[cursor]
+            cursor += 1
+            peer = instance.peers.get(holder)
+            if peer is None or idx in available:
+                continue
+            try:
+                res = yield instance.node.call(
+                    peer.node, "peer_get",
+                    {"key": fragment_key(key, idx), "version": version},
+                    reply_size=fraglen + 512)
+                available[idx] = res["data"]
+                pulled += len(res["data"])
+            except Exception:
+                continue
+        if len(available) < k:
+            return {"ok": False, "reason": "unrepairable", "pulled": pulled}
+
+        frag = Codec.rebuild(available, k, n, size, index)
+        record = instance.meta.get_record(key)
+        if record is not None and record.latest_version > version:
+            return {"ok": False, "reason": "superseded", "pulled": pulled}
+        fkey = fragment_key(key, index)
+        frecord = instance.meta.get_record(fkey)
+        if frecord is not None and frecord.has_version(version):
+            yield from instance.purge_version(fkey, version)
+        yield from instance.local_put(
+            fkey, frag, version=version,
+            origin=args.get("origin", instance.instance_id),
+            last_modified=args["last_modified"])
+        return {"ok": True, "pulled": pulled,
+                "instance": instance.instance_id}
+
+    def on_manifest_remap(self, instance, args: dict) -> Generator:
+        """Apply a fragment-map delta to the local manifest copy.
+
+        The parallel repairer broadcasts ``{index: new_holder}`` deltas
+        (a few tens of bytes each, batched per peer) instead of one full
+        manifest per object per peer.  Applies only to the exact
+        ``version`` the leader repaired; anything else is refused with a
+        reason so the leader can fall back to a full manifest push —
+        except ``superseded``, where the stale manifest must stay dead.
+        """
+        key, version = args["key"], args["version"]
+        record = instance.meta.get_record(key)
+        if record is None or not record.has_version(version):
+            return {"applied": False, "reason": "no-manifest"}
+        if record.latest_version > version:
+            return {"applied": False, "reason": "superseded"}
+        try:
+            data, _, _ = yield from instance.read_version(
+                key, version, run_rules=False)
+        except ObjectMissingError:
+            return {"applied": False, "reason": "unreadable"}
+        manifest = decode_manifest(data)
+        if manifest is None:
+            return {"applied": False, "reason": "not-manifest"}
+        frag_map = dict(manifest["frags"])
+        for idx, iid in args["remap"].items():
+            frag_map[int(idx)] = iid
+        manifest_bytes = encode_manifest(manifest["k"], manifest["m"],
+                                         manifest["size"], frag_map)
+        yield from instance.purge_version(key, version)
+        yield from instance.local_put(
+            key, manifest_bytes, version=version,
+            origin=args.get("origin", instance.instance_id),
+            last_modified=args["last_modified"])
+        return {"applied": True}
 
     # -- remove -----------------------------------------------------------
     def on_remove(self, instance, key: str,

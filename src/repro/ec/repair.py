@@ -16,36 +16,89 @@ manifest to match).
 Rebuilt fragments ship with a *bumped* ``last_modified``: the restarted
 holder still has the old version's metadata, and last-write-wins would
 reject a same-version push that is not strictly newer.
+
+Two execution strategies share the scan/leadership/repair logic:
+
+``repair_concurrency = 1`` (default)
+    The original strictly serial walk — one object fully probed,
+    gathered, decoded, and pushed before the next begins.  This path is
+    golden-pinned (``tests/golden/ec_repair_serial.json``): it must stay
+    bit-identical to the seed repairer, event for event.
+
+``repair_concurrency = W > 1``
+    A bounded-concurrency pipeline.  Each round probes every peer once
+    (in parallel), batches all ``check_readable`` items per holder into
+    a single ``call_batch`` envelope, then drives a window of up to
+    ``W`` in-flight object repairs via ``AnyOf`` completion.  Instead of
+    pulling ``k`` whole fragments to the leader and pushing the rebuilt
+    one back, the leader dispatches a ``reconstruct_fragment`` RPC to
+    the target holder, which pulls only the fragments *it* is missing
+    and installs the result locally (the codec's target-row
+    :meth:`~repro.ec.codec.Codec.rebuild` fast path).  Manifest changes
+    are broadcast as per-round batched ``manifest_remap`` deltas rather
+    than one full manifest per object per peer.
+
+A version bump racing the repair must never resurrect the stale
+version's fragments: both paths re-check the manifest's latest version
+(a pure metadata lookup) before every install and give up with
+``ec.repair_superseded`` when the object moved on, and the
+``reconstruct_fragment`` handler refuses on the target side as well.
 """
 
 from __future__ import annotations
 
-from typing import Generator
+from collections import deque
+from typing import Generator, Optional
 
 from repro.ec.protocol import (decode_manifest, encode_manifest,
                                fragment_key, is_fragment_key)
 from repro.ec.codec import Codec
 from repro.obs.api import get_obs
+from repro.obs.trace import NULL_SPAN
 from repro.sim.kernel import Interrupt
 from repro.storage.backend import ObjectMissingError
 from repro.tiera.objects import storage_key
+
+#: wire size of one (key, version) item inside a batched check_readable
+CHECK_ITEM_SIZE = 16
+#: envelope share of one batched check_readable / manifest_remap entry
+BATCH_ENTRY_SIZE = 64
 
 
 class ECRepairer:
     """One fragment-repair loop for one Tiera instance."""
 
-    def __init__(self, instance, protocol, interval: float):
+    def __init__(self, instance, protocol, interval: float,
+                 concurrency: int = 1):
         self.instance = instance
         self.protocol = protocol
         self.interval = interval
+        self.concurrency = max(1, int(concurrency))
         self._proc = None
         self.rounds = 0
         self.fragments_rebuilt = 0
-        metrics = get_obs(instance.sim).metrics
+        obs = get_obs(instance.sim)
+        self._tracer = obs.tracer
+        metrics = obs.metrics
         labels = {"instance": instance.instance_id}
         self._m_rounds = metrics.counter("ec.repair_rounds", **labels)
         self._m_rebuilt = metrics.counter("ec.fragments_rebuilt", **labels)
-        self._m_skipped = metrics.counter("ec.repair_skipped", **labels)
+        # Distinct failure counters (one overloaded "skipped" before):
+        # gather couldn't reach k survivors / no live target or push
+        # refused / an object's repair raised / a racing write superseded
+        # the version mid-repair.
+        self._m_unrepairable = metrics.counter("ec.repair_unrepairable",
+                                               **labels)
+        self._m_push_failed = metrics.counter("ec.repair_push_failed",
+                                              **labels)
+        self._m_errors = metrics.counter("ec.repair_errors", **labels)
+        self._m_superseded = metrics.counter("ec.repair_superseded",
+                                             **labels)
+        self._m_bytes = metrics.counter("ec.repair_bytes_moved", **labels)
+        self._h_object = metrics.histogram("ec.repair_object_seconds",
+                                           **labels)
+        self._h_round = metrics.histogram("ec.repair_round_seconds",
+                                          **labels)
 
     def start(self) -> None:
         if self._proc is None or not self._proc.is_alive:
@@ -67,10 +120,31 @@ class ECRepairer:
 
     # ------------------------------------------------------------------
     def repair_round(self) -> Generator:
-        instance = self.instance
         self.rounds += 1
         self._m_rounds.inc()
-        alive: dict[str, bool] = {instance.instance_id: True}
+        span = (self._tracer.span("ec:repair_round", cat="ec",
+                                  component=self.instance.instance_id)
+                if self._tracer.enabled else NULL_SPAN)
+        start = self.instance.sim.now
+        with span:
+            if self.concurrency <= 1:
+                yield from self._round_serial()
+            else:
+                yield from self._round_pipelined()
+        self._h_round.observe(self.instance.sim.now - start)
+
+    def _superseded(self, key: str, version: int) -> bool:
+        """True when ``version`` is no longer the object's latest — a
+        racing write moved the manifest on; repairing it would resurrect
+        stale fragments.  Pure metadata lookup, consumes no sim time."""
+        record = self.instance.meta.get_record(key)
+        return record is None or record.latest_version != version
+
+    def _scan_manifests(self) -> Generator:
+        """Yield through local manifest reads; return [(key, vmeta,
+        manifest)] for every EC object this instance has a manifest of."""
+        instance = self.instance
+        found = []
         for record in list(instance.meta.records()):
             key = record.key
             if is_fragment_key(key):
@@ -86,11 +160,47 @@ class ECRepairer:
             manifest = decode_manifest(data)
             if manifest is None:
                 continue
+            found.append((key, vmeta, manifest))
+        return found
+
+    # ------------------------------------------------------------------
+    # Serial strategy (seed behaviour, golden-pinned)
+    # ------------------------------------------------------------------
+    def _round_serial(self) -> Generator:
+        # NOTE: the manifest read and the repair are interleaved per
+        # object, exactly like the seed repairer — scanning everything
+        # up front would reorder network sends and break the golden pin.
+        instance = self.instance
+        alive: dict[str, bool] = {instance.instance_id: True}
+        ring = self.protocol.ring(instance)
+        for record in list(instance.meta.records()):
+            key = record.key
+            if is_fragment_key(key):
+                continue
+            meta = record.latest()
+            if meta is None:
+                continue
             try:
-                yield from self._repair_object(key, vmeta, manifest, alive)
+                data, vmeta, _ = yield from instance.read_version(
+                    key, run_rules=False)
+            except ObjectMissingError:
+                continue  # unreadable manifest: the get-path fallback heals it
+            manifest = decode_manifest(data)
+            if manifest is None:
+                continue
+            span = (self._tracer.span("ec:repair_object", cat="ec",
+                                      component=instance.instance_id,
+                                      key=key)
+                    if self._tracer.enabled else NULL_SPAN)
+            start = instance.sim.now
+            try:
+                with span:
+                    yield from self._repair_object(key, vmeta, manifest,
+                                                   alive, ring)
             except Exception:
                 # One stubborn object must not starve the rest of the round.
-                self._m_skipped.inc()
+                self._m_errors.inc()
+            self._h_object.observe(instance.sim.now - start)
 
     def _is_alive(self, iid: str, alive: dict[str, bool]) -> Generator:
         cached = alive.get(iid)
@@ -119,12 +229,15 @@ class ECRepairer:
                    for t in meta.locations if t in instance.tiers)
 
     def _repair_object(self, key: str, vmeta, manifest: dict,
-                       alive: dict[str, bool]) -> Generator:
+                       alive: dict[str, bool], ring: list) -> Generator:
         instance = self.instance
         k, m, size = manifest["k"], manifest["m"], manifest["size"]
         n = k + m
         version = vmeta.version
         frag_map = dict(manifest["frags"])
+        if self._superseded(key, version):
+            self._m_superseded.inc()
+            return
 
         # Leadership: the first *alive* holder in fragment-index order
         # repairs; everyone else skips this object this round.
@@ -200,20 +313,24 @@ class ECRepairer:
                         {"key": fkey, "version": version},
                         reply_size=Codec.fragment_length(size, k) + 512)
                     available[idx] = res["data"]
+                    self._m_bytes.inc(len(res["data"]))
                 except Exception:
                     continue
         if len(available) < k:
-            self._m_skipped.inc()
+            self._m_unrepairable.inc()
             return  # unrepairable this round; try again next interval
         data = Codec.decode(available, k, n, size)
         fragments = Codec.encode(data, k, n)
+        if self._superseded(key, version):
+            self._m_superseded.inc()
+            return
 
         # Re-home each missing fragment: original holder if alive, else the
         # nearest live instance not already holding one.
         lm = instance.sim.now  # bumped so LWW accepts the reinstall
         used = set(frag_map.values())
-        spares = [(iid, peer) for iid, peer in self.protocol.ring(instance)
-                  if iid not in used]
+        spares = deque((iid, peer) for iid, peer in ring
+                       if iid not in used)
         remap = False
         for idx in missing:
             holder = frag_map.get(idx)
@@ -223,13 +340,16 @@ class ECRepairer:
                 if holder_alive:
                     target, peer = holder, instance.peers.get(holder)
             while target is None and spares:
-                iid, spare_peer = spares.pop(0)
+                iid, spare_peer = spares.popleft()
                 spare_alive = yield from self._is_alive(iid, alive)
                 if spare_alive:
                     target, peer = iid, spare_peer
             if target is None:
-                self._m_skipped.inc()
+                self._m_push_failed.inc()
                 continue
+            if self._superseded(key, version):
+                self._m_superseded.inc()
+                return
             fkey = fragment_key(key, idx)
             if target == instance.instance_id:
                 record = instance.meta.get_record(fkey)
@@ -249,11 +369,12 @@ class ECRepairer:
                         [("replica_update", args,
                           len(fragments[idx]) + 512)])
                 except Exception:
-                    self._m_skipped.inc()
+                    self._m_push_failed.inc()
                     continue
                 if not results[0].get("ok"):
-                    self._m_skipped.inc()
+                    self._m_push_failed.inc()
                     continue
+                self._m_bytes.inc(len(fragments[idx]))
             if frag_map.get(idx) != target:
                 frag_map[idx] = target
                 remap = True
@@ -262,6 +383,9 @@ class ECRepairer:
             self._m_rebuilt.inc()
 
         if remap:
+            if self._superseded(key, version):
+                self._m_superseded.inc()
+                return
             manifest_bytes = encode_manifest(k, m, size, frag_map)
             yield from instance.purge_version(key, version)
             yield from instance.local_put(key, manifest_bytes,
@@ -270,7 +394,7 @@ class ECRepairer:
                                           last_modified=lm)
             margs = {"key": key, "version": version, "last_modified": lm,
                      "origin": instance.instance_id, "data": manifest_bytes}
-            for iid, peer in self.protocol.ring(instance)[1:]:
+            for iid, peer in ring[1:]:
                 peer_alive = yield from self._is_alive(iid, alive)
                 if not peer_alive:
                     continue
@@ -278,5 +402,390 @@ class ECRepairer:
                     yield instance.node.call_batch(
                         peer.node, [("replica_update", margs,
                                      len(manifest_bytes) + 512)])
+                    self._m_bytes.inc(len(manifest_bytes))
                 except Exception:
                     pass
+
+    # ------------------------------------------------------------------
+    # Pipelined strategy (repair_concurrency > 1)
+    # ------------------------------------------------------------------
+    def _round_pipelined(self) -> Generator:
+        instance = self.instance
+        sim = instance.sim
+
+        # Phase 1: scan local manifests (local tier reads only).
+        work = yield from self._scan_manifests()
+        if not work:
+            return
+
+        # Phase 2: probe every peer once, all probes in flight together.
+        # Every later decision (leadership, broken slots, spare choice,
+        # manifest push targets) reuses this one round-level cache — no
+        # per-object re-probing.
+        alive: dict[str, bool] = {instance.instance_id: True}
+        yield from self._probe_all(alive)
+        ring = self.protocol.ring(instance)
+
+        # Phase 3: leadership filter, then one batched check_readable per
+        # holder covering every led object's slots in a single envelope.
+        led = [item for item in work
+               if self._leads(item[2]["frags"], alive)]
+        if not led:
+            return
+        readable = yield from self._check_batch(led, alive)
+
+        queue: deque = deque()
+        for key, vmeta, manifest in led:
+            missing = self._broken_slots(key, vmeta.version, manifest,
+                                         alive, readable)
+            if missing:
+                queue.append((key, vmeta, manifest, missing))
+        if not queue:
+            return
+
+        # Phase 4: repair window — up to W objects in flight, each worker
+        # pulling the next object as soon as its current one completes.
+        remaps: list = []
+        workers = [sim.process(
+            self._repair_worker(queue, alive, ring, remaps),
+            name=f"ec-repair-w{i}:{instance.instance_id}")
+            for i in range(min(self.concurrency, len(queue)))]
+        pending = [p for p in workers if p.is_alive]
+        while pending:
+            yield sim.any_of(pending)
+            pending = [p for p in pending if p.is_alive]
+
+        # Phase 5: flush manifest remap deltas, one batch per peer.
+        if remaps:
+            yield from self._flush_remaps(remaps, alive, ring)
+
+    def _probe_all(self, alive: dict[str, bool]) -> Generator:
+        instance = self.instance
+        calls = []
+        for iid in sorted(instance.peers):
+            call = instance.node.call(instance.peers[iid].node, "probe", {})
+            call.defuse()
+            calls.append((iid, call))
+        for iid, call in calls:
+            try:
+                yield call
+                alive[iid] = True
+            except Exception:
+                alive[iid] = False
+
+    def _leads(self, frag_map: dict, alive: dict[str, bool]) -> bool:
+        me = self.instance.instance_id
+        for idx in sorted(frag_map):
+            holder = frag_map[idx]
+            if holder == me:
+                return True
+            if alive.get(holder):
+                return False
+        return False  # we hold no fragment of this object
+
+    def _check_batch(self, led: list, alive: dict[str, bool]) -> Generator:
+        """One ``check_readable`` entry per holder spanning all led
+        objects; returns the set of (holder, fragment-key) pairs whose
+        bytes the holder confirmed readable."""
+        instance = self.instance
+        by_holder: dict[str, list[tuple[str, int]]] = {}
+        for key, vmeta, manifest in led:
+            for idx, holder in manifest["frags"].items():
+                if holder == instance.instance_id or not alive.get(holder):
+                    continue
+                by_holder.setdefault(holder, []).append(
+                    (fragment_key(key, idx), vmeta.version))
+        readable: set[tuple[str, str]] = set()
+        calls = []
+        for holder in sorted(by_holder):
+            items = by_holder[holder]
+            size = BATCH_ENTRY_SIZE + CHECK_ITEM_SIZE * len(items)
+            call = instance.node.call_batch(
+                instance.peers[holder].node,
+                [("check_readable", {"items": items}, size)])
+            call.defuse()
+            calls.append((holder, items, call))
+        for holder, items, call in calls:
+            try:
+                results = yield call
+                entry = results[0]
+                if not entry.get("ok"):
+                    raise RuntimeError(entry.get("error"))
+                gone = set(entry["result"]["missing"])
+            except Exception:
+                alive[holder] = False  # all its slots count as broken
+                continue
+            readable.update((holder, fkey) for fkey, _ in items
+                            if fkey not in gone)
+        return readable
+
+    def _broken_slots(self, key: str, version: int, manifest: dict,
+                      alive: dict[str, bool],
+                      readable: set[tuple[str, str]]) -> list[int]:
+        instance = self.instance
+        n = manifest["k"] + manifest["m"]
+        frag_map = manifest["frags"]
+        missing = []
+        for idx in range(n):
+            holder = frag_map.get(idx)
+            fkey = fragment_key(key, idx)
+            if holder == instance.instance_id:
+                if not self._local_readable(fkey, version):
+                    missing.append(idx)
+            elif holder is None or not alive.get(holder):
+                missing.append(idx)
+            elif (holder, fkey) not in readable:
+                missing.append(idx)
+        return missing
+
+    def _repair_worker(self, queue: deque, alive: dict[str, bool],
+                       ring: list, remaps: list) -> Generator:
+        instance = self.instance
+        while queue:
+            key, vmeta, manifest, missing = queue.popleft()
+            span = (self._tracer.span("ec:repair_object", cat="ec",
+                                      component=instance.instance_id,
+                                      key=key)
+                    if self._tracer.enabled else NULL_SPAN)
+            start = instance.sim.now
+            try:
+                with span:
+                    yield from self._repair_object_pipelined(
+                        key, vmeta, manifest, missing, alive, ring, remaps)
+            except Exception:
+                self._m_errors.inc()
+            self._h_object.observe(instance.sim.now - start)
+
+    def _repair_object_pipelined(self, key: str, vmeta, manifest: dict,
+                                 missing: list[int],
+                                 alive: dict[str, bool], ring: list,
+                                 remaps: list) -> Generator:
+        instance = self.instance
+        k, m, size = manifest["k"], manifest["m"], manifest["size"]
+        n = k + m
+        version = vmeta.version
+        frag_map = dict(manifest["frags"])
+        if self._superseded(key, version):
+            self._m_superseded.inc()
+            return
+
+        # Survivors were verified readable by the round's batched check.
+        sources = sorted((idx, holder) for idx, holder in frag_map.items()
+                         if idx not in missing)
+        if len(sources) < k:
+            self._m_unrepairable.inc()
+            return
+
+        lm = instance.sim.now  # bumped so LWW accepts the reinstall
+        used = set(frag_map.values())
+        spares = deque((iid, peer) for iid, peer in ring
+                       if iid not in used and alive.get(iid))
+        remap: dict[int, str] = {}
+        gathered: Optional[dict[int, bytes]] = None
+        rebuilt_all: Optional[list[bytes]] = None
+
+        for idx in sorted(missing):
+            holder = frag_map.get(idx)
+            target, peer = None, None
+            if holder is not None and alive.get(holder):
+                target, peer = holder, instance.peers.get(holder)
+            if target is None and spares:
+                target, peer = spares.popleft()
+            if target is None:
+                self._m_push_failed.inc()
+                continue
+            fkey = fragment_key(key, idx)
+            installed = False
+
+            if peer is not None and gathered is None:
+                # Holder-local reconstruction: the target pulls only the
+                # fragments it is missing and installs the result itself —
+                # no fragment bytes transit the leader at all.
+                args = {"key": key, "version": version, "k": k, "m": m,
+                        "size": size, "index": idx, "sources": sources,
+                        "last_modified": lm,
+                        "origin": instance.instance_id}
+                try:
+                    res = yield instance.node.call(
+                        peer.node, "reconstruct_fragment", args)
+                except Exception:
+                    res = None
+                if res is not None and res.get("ok"):
+                    self._m_bytes.inc(res.get("pulled", 0))
+                    installed = True
+                elif (res is not None
+                      and res.get("reason") == "superseded"):
+                    self._m_superseded.inc()
+                    return
+                # any other failure: fall back to coordinator repair
+
+            if not installed:
+                if gathered is None:
+                    gathered = yield from self._gather(
+                        key, version, k, size, sources)
+                    if gathered is None:
+                        self._m_unrepairable.inc()
+                        return
+                    if len(missing) > 1:
+                        # Several slots lost: one decode + one re-encode
+                        # beats len(missing) target-row rebuilds.
+                        data = Codec.decode(gathered, k, n, size)
+                        rebuilt_all = Codec.encode(data, k, n)
+                frag = (rebuilt_all[idx] if rebuilt_all is not None
+                        else Codec.rebuild(gathered, k, n, size, idx))
+                if self._superseded(key, version):
+                    self._m_superseded.inc()
+                    return
+                if peer is None:  # target is this instance
+                    record = instance.meta.get_record(fkey)
+                    if record is not None and record.has_version(version):
+                        yield from instance.purge_version(fkey, version)
+                    yield from instance.local_put(
+                        fkey, frag, version=version,
+                        origin=instance.instance_id, last_modified=lm)
+                else:
+                    args = {"key": fkey, "version": version,
+                            "last_modified": lm,
+                            "origin": instance.instance_id, "data": frag}
+                    try:
+                        results = yield instance.node.call_batch(
+                            peer.node,
+                            [("replica_update", args, len(frag) + 512)])
+                    except Exception:
+                        self._m_push_failed.inc()
+                        continue
+                    if not results[0].get("ok"):
+                        self._m_push_failed.inc()
+                        continue
+                    self._m_bytes.inc(len(frag))
+
+            if frag_map.get(idx) != target:
+                frag_map[idx] = target
+                remap[idx] = target
+            used.add(target)
+            self.fragments_rebuilt += 1
+            self._m_rebuilt.inc()
+
+        if remap:
+            if self._superseded(key, version):
+                self._m_superseded.inc()
+                return
+            manifest_bytes = encode_manifest(k, m, size, frag_map)
+            yield from instance.purge_version(key, version)
+            yield from instance.local_put(key, manifest_bytes,
+                                          version=version,
+                                          origin=instance.instance_id,
+                                          last_modified=lm)
+            remaps.append((key, version, remap, lm))
+
+    def _gather(self, key: str, version: int, k: int, size: int,
+                sources: list[tuple[int, str]]) -> Generator:
+        """Coordinator-side fragment gather: local reads first, then one
+        parallel wave of k-|local| pulls, then sequential replacements.
+        Returns {index: bytes} with >= k entries, or None."""
+        instance = self.instance
+        fraglen = Codec.fragment_length(size, k)
+        available: dict[int, bytes] = {}
+        remote: list[tuple[int, str]] = []
+        for idx, holder in sources:
+            if holder == instance.instance_id:
+                if len(available) >= k:
+                    break
+                try:
+                    frag, _, _ = yield from instance.read_version(
+                        fragment_key(key, idx), version, run_rules=False)
+                    available[idx] = frag
+                except Exception:
+                    continue
+            else:
+                remote.append((idx, holder))
+        need = k - len(available)
+        calls = []
+        for idx, holder in remote[:max(need, 0)]:
+            peer = instance.peers.get(holder)
+            if peer is None:
+                continue
+            call = instance.node.call(
+                peer.node, "peer_get",
+                {"key": fragment_key(key, idx), "version": version},
+                reply_size=fraglen + 512)
+            call.defuse()
+            calls.append((idx, call))
+        for idx, call in calls:
+            try:
+                res = yield call
+                available[idx] = res["data"]
+                self._m_bytes.inc(len(res["data"]))
+            except Exception:
+                continue
+        cursor = max(need, 0)
+        while len(available) < k and cursor < len(remote):
+            idx, holder = remote[cursor]
+            cursor += 1
+            peer = instance.peers.get(holder)
+            if peer is None or idx in available:
+                continue
+            try:
+                res = yield instance.node.call(
+                    peer.node, "peer_get",
+                    {"key": fragment_key(key, idx), "version": version},
+                    reply_size=fraglen + 512)
+                available[idx] = res["data"]
+                self._m_bytes.inc(len(res["data"]))
+            except Exception:
+                continue
+        return available if len(available) >= k else None
+
+    def _flush_remaps(self, remaps: list, alive: dict[str, bool],
+                      ring: list) -> Generator:
+        """Broadcast the round's manifest changes as batched deltas: one
+        ``manifest_remap`` entry per repaired object, one envelope per
+        peer — instead of one full manifest push per object per peer.
+        Peers that cannot apply a delta get the full manifest pushed."""
+        instance = self.instance
+        origin = instance.instance_id
+        entries = [("manifest_remap",
+                    {"key": key, "version": version,
+                     "remap": {str(idx): iid
+                               for idx, iid in sorted(delta.items())},
+                     "last_modified": lm, "origin": origin},
+                    BATCH_ENTRY_SIZE)
+                   for key, version, delta, lm in remaps]
+        calls = []
+        for iid, peer in ring[1:]:
+            if peer is None or not alive.get(iid):
+                continue
+            call = instance.node.call_batch(peer.node, list(entries))
+            call.defuse()
+            calls.append((peer.node, call))
+        for peer_node, call in calls:
+            try:
+                results = yield call
+            except Exception:
+                self._m_push_failed.inc()
+                continue
+            for (key, version, delta, lm), entry in zip(remaps, results):
+                if entry.get("ok"):
+                    res = entry.get("result") or {}
+                    if res.get("applied") or res.get("reason") == "superseded":
+                        continue
+                # Fallback: the peer is missing this manifest version (or
+                # failed oddly) — push the full rewritten manifest.
+                try:
+                    data, _, _ = yield from instance.read_version(
+                        key, version, run_rules=False)
+                except Exception:
+                    continue
+                margs = {"key": key, "version": version,
+                         "last_modified": lm, "origin": origin,
+                         "data": data}
+                try:
+                    results2 = yield instance.node.call_batch(
+                        peer_node,
+                        [("replica_update", margs, len(data) + 512)])
+                    if results2[0].get("ok"):
+                        self._m_bytes.inc(len(data))
+                    else:
+                        self._m_push_failed.inc()
+                except Exception:
+                    self._m_push_failed.inc()

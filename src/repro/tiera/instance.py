@@ -618,6 +618,8 @@ class TieraInstance:
         n.register("forward_remove", self.rpc_forward_remove)
         n.register("digest", self.rpc_digest)
         n.register("check_readable", self.rpc_check_readable)
+        n.register("reconstruct_fragment", self.rpc_reconstruct_fragment)
+        n.register("manifest_remap", self.rpc_manifest_remap)
         n.register("peer_get", self.rpc_peer_get)
         n.register("peer_has", self.rpc_peer_has)
         n.register("probe", self.rpc_probe)
@@ -799,6 +801,31 @@ class TieraInstance:
             if not readable:
                 missing.append(key)
         return {"missing": missing, "instance": self.instance_id}
+
+    def rpc_reconstruct_fragment(self, msg: Message) -> Generator:
+        """Rebuild one erasure-coded fragment locally from named sources.
+
+        Delegated to the consistency protocol: only protocols that manage
+        fragments (:class:`repro.ec.protocol.ECProtocol`) implement it.
+        """
+        handler = getattr(self.protocol, "on_reconstruct_fragment", None)
+        if handler is None:
+            raise TieraError(
+                f"{self.instance_id}: protocol {self.protocol.name!r} "
+                f"does not reconstruct fragments")
+        self.note_request(msg.args.get("origin", msg.src))
+        result = yield from handler(self, msg.args)
+        return result
+
+    def rpc_manifest_remap(self, msg: Message) -> Generator:
+        """Apply a fragment-map delta to a locally held EC manifest."""
+        handler = getattr(self.protocol, "on_manifest_remap", None)
+        if handler is None:
+            raise TieraError(
+                f"{self.instance_id}: protocol {self.protocol.name!r} "
+                f"does not hold EC manifests")
+        result = yield from handler(self, msg.args)
+        return result
 
     def rpc_peer_get(self, msg: Message) -> Generator:
         data, meta, record = yield from self.read_version(

@@ -122,3 +122,69 @@ class TestValidation:
         frags = Codec.encode(b"payload!", 2, 4)
         with pytest.raises(ValueError):
             Codec.decode({0: frags[0], 1: frags[1][:-1]}, 2, 4, 8)
+
+
+class TestRebuildFastPath:
+    """Target-row rebuild and the cached inverted decode matrices."""
+
+    def test_rebuild_equals_reencode_across_schemes(self):
+        """For every scheme, every recoverable loss pattern, and every
+        survivor subset of exactly k: the target-row rebuild reproduces
+        the fragment a full decode + re-encode would."""
+        for k, n in SCHEMES:
+            if n - k == 0:
+                continue
+            data = rng_bytes(k * 31 + n, 257)
+            frags = Codec.encode(data, k, n)
+            for missing in range(n):
+                survivors = [i for i in range(n) if i != missing]
+                for pick in itertools.combinations(survivors, k):
+                    subset = {i: frags[i] for i in pick}
+                    assert Codec.rebuild(subset, k, n, len(data),
+                                         missing) == frags[missing], \
+                        (k, n, missing, pick)
+
+    def test_rebuild_ignores_copy_of_missing_index(self):
+        """A (stale) fragment supplied under the missing index itself is
+        excluded from the survivor set, never trusted."""
+        data = rng_bytes(3, 128)
+        k, n = 2, 4
+        frags = Codec.encode(data, k, n)
+        poisoned = {0: frags[0], 1: b"\xff" * len(frags[1]), 2: frags[2]}
+        assert Codec.rebuild(poisoned, k, n, len(data), 1) == frags[1]
+
+    def test_rebuild_needs_k_survivors(self):
+        frags = Codec.encode(b"hello", 2, 3)
+        with pytest.raises(ValueError):
+            Codec.rebuild({0: frags[0]}, 2, 3, 5, 2)
+        with pytest.raises(ValueError):
+            Codec.rebuild({0: frags[0], 1: frags[1]}, 2, 3, 5, 7)
+
+    def test_decode_matrix_cache_hits_on_repeated_patterns(self):
+        """Repairing many objects under one erasure pattern inverts the
+        matrix once; repeats are cache hits."""
+        from repro.ec.codec import _INV_CACHE, _inv_cache_stats
+        _INV_CACHE.clear()
+        k, n = 3, 5
+        before = dict(_inv_cache_stats)
+        for seed in range(12):
+            data = rng_bytes(seed, 300)
+            frags = Codec.encode(data, k, n)
+            rest = {i: frags[i] for i in range(n) if i != 1}
+            assert Codec.rebuild(rest, k, n, len(data), 1) == frags[1]
+        misses = _inv_cache_stats["misses"] - before["misses"]
+        hits = _inv_cache_stats["hits"] - before["hits"]
+        assert misses == 1   # one inversion for the pattern...
+        assert hits == 11    # ...then pure lookups
+
+    def test_decode_matrix_cache_is_bounded(self):
+        from repro.ec import codec
+        codec._INV_CACHE.clear()
+        data = rng_bytes(1, 64)
+        k = 2
+        for n in range(3, 40):
+            frags = Codec.encode(data, k, n)
+            for missing in range(n):
+                rest = {i: frags[i] for i in range(n) if i != missing}
+                Codec.rebuild(rest, k, n, len(data), missing)
+        assert len(codec._INV_CACHE) <= codec._INV_CACHE_MAX

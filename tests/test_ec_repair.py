@@ -1,0 +1,312 @@
+"""Parallel EC repair pipeline: golden pin, equivalence, races.
+
+The repair plane has two strategies behind one ``repair_round``:
+
+* ``repair_concurrency=1`` — the seed's strictly serial walk, pinned
+  bit-for-bit by ``tests/golden/ec_repair_serial.json`` (recorded from
+  the pre-pipeline repairer).
+* ``repair_concurrency>1`` — batched probing/checking, an AnyOf-driven
+  repair window, holder-local ``reconstruct_fragment``, and batched
+  ``manifest_remap`` deltas.
+
+Both must converge to the same store state; the pipeline must do it in
+less simulated time with less egress; and neither may resurrect a stale
+version when a write races the repair.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import build_deployment
+from repro.core.global_policy import (GlobalPolicySpec, RedundancySpec,
+                                      RegionPlacement)
+from repro.ec.protocol import decode_manifest, fragment_key
+from repro.net.topology import US_EAST
+from repro.tiera.policy import memory_only_policy
+from tests.ec_repair_golden import (GOLDEN_PATH, OBJECTS, PINNED_METRICS,
+                                    PROVIDERS, REGIONS, SITES, VALUE_SIZE,
+                                    golden_run)
+
+
+# -- golden pin -------------------------------------------------------------
+
+def test_serial_path_matches_seed_fingerprint():
+    """``repair_concurrency=1`` replays the seed repairer event-for-event."""
+    want = json.loads(GOLDEN_PATH.read_text())
+    got = golden_run(repair_concurrency=1)
+    # Piecewise first so a mismatch names the drifting observable.
+    assert got["final_clock"] == want["final_clock"]
+    assert got["events_processed"] == want["events_processed"]
+    assert got["rebuilt_after_round1"] == want["rebuilt_after_round1"]
+    for name in PINNED_METRICS:
+        assert got["metric_totals"][name] == want["metric_totals"][name], name
+    assert got["store_digest"] == want["store_digest"]
+    assert got == want
+
+
+def test_fixture_is_nontrivial():
+    want = json.loads(GOLDEN_PATH.read_text())
+    assert want["rebuilt_after_round1"] == OBJECTS
+    assert want["events_processed"] > 1000
+    assert want["metric_totals"]["net.messages"] > 100
+    assert want["metric_totals"]["ec.fragments_rebuilt"] == OBJECTS
+
+
+# -- shared scenario --------------------------------------------------------
+
+def _scenario(repair_concurrency: int, crash_slots=(1,), objects=OBJECTS):
+    """The golden topology with ``crash_slots`` fragment holders downed
+    (left down), one driven repair round, and full state returned."""
+    dep = build_deployment(list(REGIONS), providers=PROVIDERS, seed=17)
+    spec = GlobalPolicySpec(
+        name="ec",
+        placements=tuple(
+            RegionPlacement(region, memory_only_policy(), provider=provider)
+            for region, provider in SITES),
+        consistency="eventual",
+        redundancy=RedundancySpec(k=2, m=2, repair_interval=1000.0,
+                                  repair_concurrency=repair_concurrency))
+    instances = dep.start_wiera_instance("ec", spec)
+    tim = dep.tim("ec")
+    client = dep.add_client(US_EAST, instances=instances)
+    payloads = {f"obj{i}": bytes([i + 1]) * VALUE_SIZE
+                for i in range(objects)}
+
+    def write_phase():
+        for key, value in payloads.items():
+            yield from client.put(key, value)
+    dep.drive(write_phase())
+
+    coordinator = dep.instance("ec", US_EAST)
+    manifest = decode_manifest(dep.drive(
+        coordinator.read_version("obj0", run_rules=False))[0])
+    faults = dep.fault_schedule("scenario")
+    holders = set(manifest["frags"].values())
+    victims = set()
+    for slot in crash_slots:
+        if slot == "spares":  # every instance not holding a fragment
+            victims.update(iid for iid in tim.instances
+                           if iid not in holders)
+        else:
+            victims.add(manifest["frags"][slot])
+    for iid in sorted(victims):
+        faults.crash(at=dep.sim.now + 0.25,
+                     host=tim.instances[iid].instance.host.name,
+                     duration=5000.0)
+    faults.start()
+    dep.sim.run(until=dep.sim.now + 0.5)
+
+    leader_id = manifest["frags"][0]
+    leader = tim.instances[leader_id].instance
+    repairer = leader.protocol.repairer(leader_id)
+
+    before = {"bytes": dep.metric_total("net.bytes"),
+              "msgs": dep.metric_total("net.messages"),
+              "clock": dep.sim.now}
+    dep.drive(repairer.repair_round(), name="repair-round")
+    repair = {"bytes": dep.metric_total("net.bytes") - before["bytes"],
+              "msgs": dep.metric_total("net.messages") - before["msgs"],
+              "seconds": dep.sim.now - before["clock"]}
+    return dep, tim, client, repairer, payloads, manifest, repair
+
+
+def _counters(dep) -> dict:
+    return {name: dep.metric_total(f"ec.repair_{name}")
+            for name in ("unrepairable", "push_failed", "errors",
+                         "superseded")}
+
+
+# -- pipelined equivalence --------------------------------------------------
+
+def test_pipelined_converges_to_serial_state():
+    """Same crash, same objects: the pipeline must rebuild the same
+    fragments and land the stores in the same (timing-free) state,
+    strictly faster and with less egress than the serial walk."""
+    dep_s, _, client_s, rep_s, payloads, _, repair_s = _scenario(1)
+    dep_p, _, client_p, rep_p, _, _, repair_p = _scenario(8)
+
+    assert rep_s.fragments_rebuilt == OBJECTS
+    assert rep_p.fragments_rebuilt == OBJECTS
+    # Identical placement outcome: the timing-free store digest (keys,
+    # versions, payload bytes per instance) matches across strategies.
+    assert dep_s.store_digest(detail=False) == dep_p.store_digest(detail=False)
+
+    # Every object reads back cleanly on both deployments.
+    for dep, client in ((dep_s, client_s), (dep_p, client_p)):
+        def read_all(client=client):
+            for key, value in payloads.items():
+                res = yield from client.get(key)
+                assert res["data"] == value, key
+        dep.drive(read_all())
+
+    # The pipeline is the whole point: faster and cheaper.
+    assert repair_p["seconds"] < repair_s["seconds"]
+    assert repair_p["bytes"] < repair_s["bytes"]
+
+    # A second round on the pipeline is a no-op (nothing left to fix).
+    dep_p.drive(rep_p.repair_round(), name="verify-round")
+    assert rep_p.fragments_rebuilt == OBJECTS
+
+
+def test_pipelined_uses_holder_local_reconstruction_and_remap_deltas():
+    """The repaired spare rebuilds fragments itself (bytes pulled by the
+    target, not pushed by the leader) and every live peer's manifest
+    copy learns the new holder via the remap delta."""
+    dep, tim, _, repairer, _, manifest, _ = _scenario(8)
+    crashed = manifest["frags"][1]
+    for key in (f"obj{i}" for i in range(OBJECTS)):
+        new_holders = set()
+        for iid, rec in tim.instances.items():
+            inst = rec.instance
+            if inst.host.down:
+                continue
+            record = inst.meta.get_record(key)
+            assert record is not None, (key, iid)
+            raw = dep.drive(inst.read_version(key, run_rules=False))[0]
+            doc = decode_manifest(raw)
+            assert doc is not None, (key, iid)
+            assert doc["frags"][1] != crashed, (
+                f"{iid} still maps slot 1 of {key} to the crashed holder")
+            new_holders.add(doc["frags"][1])
+        # All live peers agree on the (single) new holder.
+        assert len(new_holders) == 1, (key, new_holders)
+        new_holder = new_holders.pop()
+        # ...and that holder actually has readable rebuilt bytes.
+        target = tim.instances[new_holder].instance
+        frag = dep.drive(target.read_version(
+            fragment_key(key, 1), run_rules=False))[0]
+        assert len(frag) == VALUE_SIZE // 2
+    # Holder-local reconstruction moved bytes INTO the target: the
+    # leader's bytes-moved counter saw the target's pulls reported back.
+    assert dep.metric_total("ec.repair_bytes_moved") > 0
+
+
+# -- attributable failure counters (satellite) ------------------------------
+
+@pytest.mark.parametrize("concurrency", [1, 8])
+def test_unrepairable_counted_distinctly(concurrency):
+    """Losing m+1 fragments is unrepairable: counted as such, not as a
+    generic skip, and nothing is rebuilt."""
+    dep, _, _, repairer, _, _, _ = _scenario(
+        concurrency, crash_slots=(1, 2, 3))
+    counters = _counters(dep)
+    assert counters["unrepairable"] == OBJECTS
+    assert counters["push_failed"] == 0
+    assert counters["errors"] == 0
+    assert repairer.fragments_rebuilt == 0
+    assert dep.metric_total("ec.fragments_rebuilt") == 0
+
+
+@pytest.mark.parametrize("concurrency", [1, 8])
+def test_push_failed_counted_distinctly(concurrency):
+    """A lost fragment with no live re-home target is a push failure,
+    distinct from unrepairable (the data itself is recoverable)."""
+    dep, _, _, repairer, _, manifest, _ = _scenario(
+        concurrency, crash_slots=(1, "spares"))
+    counters = _counters(dep)
+    assert counters["push_failed"] == OBJECTS
+    assert counters["unrepairable"] == 0
+    assert counters["errors"] == 0
+    assert repairer.fragments_rebuilt == 0
+
+
+# -- repair racing a concurrent write (satellite) ---------------------------
+
+@pytest.mark.parametrize("concurrency", [1, 8])
+def test_version_bump_mid_repair_is_not_resurrected(concurrency):
+    """A write racing the repair round must win: the acked new version
+    survives, and the repairer abandons the stale version instead of
+    reinstalling its fragments."""
+    dep = build_deployment(list(REGIONS), providers=PROVIDERS, seed=17)
+    spec = GlobalPolicySpec(
+        name="ec",
+        placements=tuple(
+            RegionPlacement(region, memory_only_policy(), provider=provider)
+            for region, provider in SITES),
+        consistency="eventual",
+        redundancy=RedundancySpec(k=2, m=2, repair_interval=1000.0,
+                                  repair_concurrency=concurrency))
+    instances = dep.start_wiera_instance("ec", spec)
+    tim = dep.tim("ec")
+    client = dep.add_client(US_EAST, instances=instances)
+    payloads = {f"obj{i}": bytes([i + 1]) * VALUE_SIZE
+                for i in range(OBJECTS)}
+
+    def write_phase():
+        for key, value in payloads.items():
+            yield from client.put(key, value)
+    dep.drive(write_phase())
+
+    coordinator = dep.instance("ec", US_EAST)
+    manifest = decode_manifest(dep.drive(
+        coordinator.read_version("obj0", run_rules=False))[0])
+    victim = tim.instances[manifest["frags"][1]].instance.host
+    faults = dep.fault_schedule("race")
+    faults.crash(at=dep.sim.now + 0.25, host=victim.name, duration=5000.0)
+    faults.start()
+    dep.sim.run(until=dep.sim.now + 0.5)
+
+    leader_id = manifest["frags"][0]
+    leader = tim.instances[leader_id].instance
+    repairer = leader.protocol.repairer(leader_id)
+
+    # Fire the overwrite at the exact moment the repairer starts on the
+    # raced object — the tightest possible interleaving, deterministic
+    # under both strategies.
+    raced_key = f"obj{OBJECTS - 1}"
+    new_value = b"\xEE" * VALUE_SIZE
+    put_done: dict = {}
+
+    def racing_put():
+        res = yield from client.put(raced_key, new_value)
+        put_done["version"] = res["version"]
+        put_done["at"] = dep.sim.now
+
+    method = ("_repair_object" if concurrency == 1
+              else "_repair_object_pipelined")
+    original = getattr(repairer, method)
+
+    def hooked(key, *args, **kwargs):
+        if key == raced_key and "proc" not in put_done:
+            put_done["proc"] = dep.sim.process(racing_put(),
+                                               name="racing-put")
+        result = yield from original(key, *args, **kwargs)
+        return result
+    setattr(repairer, method, hooked)
+
+    round_proc = dep.sim.process(repairer.repair_round(), name="race-round")
+    while round_proc.is_alive or ("proc" in put_done
+                                  and put_done["proc"].is_alive):
+        dep.sim.run(until=dep.sim.now + 0.5)
+    assert put_done.get("version") == 2, "racing write was never acked"
+    t_put_done = put_done["at"]
+
+    # The acked write survives end-to-end.
+    res = dep.drive(client.get(raced_key))
+    assert res["data"] == new_value
+    assert res["version"] == 2
+
+    # The repairer noticed the bump and walked away from v1.
+    assert dep.metric_total("ec.repair_superseded") > 0
+
+    # No stale reinstall: nowhere did a v1 fragment of the raced key get
+    # (re)installed after the new version was acknowledged.
+    for iid, rec in tim.instances.items():
+        inst = rec.instance
+        for idx in range(4):
+            frecord = inst.meta.get_record(fragment_key(raced_key, idx))
+            if frecord is None or not frecord.has_version(1):
+                continue
+            meta = frecord.versions[1]
+            assert meta.last_modified <= t_put_done, (
+                f"{iid} resurrected {raced_key}#ecf{idx} v1 at "
+                f"{meta.last_modified} (write acked at {t_put_done})")
+        # The manifest's latest version is the new write everywhere the
+        # record exists on a live host.
+        if not inst.host.down:
+            record = inst.meta.get_record(raced_key)
+            if record is not None:
+                assert record.latest_version == 2, iid
